@@ -1,0 +1,271 @@
+// Package batcher is the public API of BatchER-Go, a cost-effective
+// batch-prompting framework for entity resolution reproducing "Cost-
+// Effective In-Context Learning for Entity Resolution: A Design Space
+// Exploration" (ICDE 2024).
+//
+// A Matcher groups candidate entity pairs ("questions") into batches,
+// selects in-context demonstrations from an unlabeled pool, prompts an
+// LLM once per batch, and returns per-pair match predictions along with a
+// full monetary cost ledger (API tokens + demonstration labeling).
+//
+// Quickstart:
+//
+//	client := batcher.NewSimulatedClient(labeledPairs, 1)
+//	m := batcher.New(client,
+//		batcher.WithBatching(batcher.DiversityBatching),
+//		batcher.WithSelection(batcher.CoveringSelection))
+//	res, err := m.Match(questions, pool)
+//
+// The package re-exports the domain types a caller needs (Record, Pair,
+// Dataset, strategies), so downstream users never import internal
+// packages.
+package batcher
+
+import (
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/cost"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/llm"
+	"batcher/internal/metrics"
+	"batcher/internal/prompt"
+	"batcher/internal/tokens"
+)
+
+// Re-exported domain types. Aliases keep the public surface in one import
+// while the implementation lives in internal packages.
+type (
+	// Record is a tuple with named attributes.
+	Record = entity.Record
+	// Pair is a candidate entity pair, optionally labeled.
+	Pair = entity.Pair
+	// Label is a matching verdict.
+	Label = entity.Label
+	// Dataset is a two-table benchmark with labeled candidate pairs.
+	Dataset = entity.Dataset
+	// Split is a train/valid/test partition.
+	Split = entity.Split
+	// Result is the outcome of a Match call.
+	Result = core.Result
+	// Config is the full framework configuration.
+	Config = core.Config
+	// BatchStrategy selects the question batching method.
+	BatchStrategy = core.BatchStrategy
+	// SelectStrategy selects the demonstration selection method.
+	SelectStrategy = core.SelectStrategy
+	// Client is the LLM client abstraction.
+	Client = llm.Client
+	// Confusion scores predictions against gold labels.
+	Confusion = metrics.Confusion
+)
+
+// Label values.
+const (
+	Match    = entity.Match
+	NonMatch = entity.NonMatch
+	Unknown  = entity.Unknown
+)
+
+// Question batching strategies (paper Section III).
+const (
+	RandomBatching     = core.RandomBatching
+	SimilarityBatching = core.SimilarityBatching
+	DiversityBatching  = core.DiversityBatching
+)
+
+// Demonstration selection strategies (paper Sections IV-V).
+const (
+	FixedSelection    = core.FixedSelection
+	TopKBatch         = core.TopKBatch
+	TopKQuestion      = core.TopKQuestion
+	CoveringSelection = core.CoveringSelection
+)
+
+// Model names for WithModel.
+const (
+	GPT35Turbo0301 = llm.GPT35Turbo0301
+	GPT35Turbo0613 = llm.GPT35Turbo0613
+	GPT4           = llm.GPT4
+	Llama2Chat70B  = llm.Llama2Chat70B
+)
+
+// NewRecord builds a record from parallel attribute/value slices.
+func NewRecord(id string, attrs, values []string) Record {
+	return entity.NewRecord(id, attrs, values)
+}
+
+// SplitPairs partitions labeled pairs 3:1:1 (train/valid/test),
+// stratified by class, as in the paper's experimental setup.
+func SplitPairs(pairs []Pair) Split { return entity.SplitPairs(pairs) }
+
+// WithoutLabels strips gold labels, producing an unlabeled pool.
+func WithoutLabels(pairs []Pair) []Pair { return entity.WithoutLabels(pairs) }
+
+// Option configures a Matcher.
+type Option func(*core.Config)
+
+// WithBatchSize sets questions per prompt (default 8; 1 = standard
+// prompting).
+func WithBatchSize(n int) Option { return func(c *core.Config) { c.BatchSize = n } }
+
+// WithNumDemos sets the per-batch demonstration budget (default 8).
+func WithNumDemos(n int) Option { return func(c *core.Config) { c.NumDemos = n } }
+
+// WithBatching sets the question batching strategy.
+func WithBatching(b BatchStrategy) Option { return func(c *core.Config) { c.Batching = b } }
+
+// WithSelection sets the demonstration selection strategy.
+func WithSelection(s SelectStrategy) Option { return func(c *core.Config) { c.Selection = s } }
+
+// WithModel sets the underlying LLM by registry name.
+func WithModel(name string) Option { return func(c *core.Config) { c.Model = name } }
+
+// WithSeed fixes all randomized steps for reproducibility.
+func WithSeed(seed int64) Option { return func(c *core.Config) { c.Seed = seed } }
+
+// WithLRFeatures selects the structure-aware Levenshtein-ratio extractor
+// (default, the paper's BATCHER-LR).
+func WithLRFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewLR() } }
+
+// WithJaccardFeatures selects the structure-aware Jaccard extractor
+// (BATCHER-JAC).
+func WithJaccardFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewJAC() } }
+
+// WithSemanticFeatures selects the semantics-based embedding extractor
+// (BATCHER-SEM).
+func WithSemanticFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewSEM() } }
+
+// WithCoverPercentile sets the covering threshold percentile (default
+// 0.08, the paper's 8th percentile).
+func WithCoverPercentile(p float64) Option { return func(c *core.Config) { c.CoverPercentile = p } }
+
+// WithTemperature sets the sampling temperature (default 0.01).
+func WithTemperature(t float64) Option { return func(c *core.Config) { c.Temperature = t } }
+
+// WithJSONAnswers requests structured JSON replies from the LLM instead
+// of the paper's free-text format (an extension; parsing accepts both).
+func WithJSONAnswers() Option { return func(c *core.Config) { c.JSONAnswers = true } }
+
+// Matcher is a configured BATCHER instance.
+type Matcher struct {
+	fw *core.Framework
+}
+
+// New builds a Matcher over an LLM client with the paper's defaults
+// (batch size 8, diversity batching, covering selection, LR features,
+// GPT-3.5-turbo-0301, temperature 0.01).
+func New(client Client, opts ...Option) *Matcher {
+	cfg := core.Config{
+		Batching:  DiversityBatching,
+		Selection: CoveringSelection,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Matcher{fw: core.New(cfg, client)}
+}
+
+// NewWithConfig builds a Matcher from an explicit Config.
+func NewWithConfig(client Client, cfg Config) *Matcher {
+	return &Matcher{fw: core.New(cfg, client)}
+}
+
+// Config returns the effective configuration.
+func (m *Matcher) Config() Config { return m.fw.Config() }
+
+// Match resolves every question pair using batch prompting, drawing
+// demonstrations from pool. Pool pairs may carry gold labels; the Matcher
+// reads one only when it annotates that pair, and bills each annotation.
+func (m *Matcher) Match(questions, pool []Pair) (*Result, error) {
+	return m.fw.Resolve(questions, pool)
+}
+
+// Score computes the confusion matrix of predictions against the gold
+// labels carried by the question pairs.
+func Score(questions []Pair, pred []Label) Confusion {
+	var c Confusion
+	c.AddAll(entity.Labels(questions), pred)
+	return c
+}
+
+// NewSimulatedClient returns the offline LLM substrate: a deterministic
+// simulated model whose error behaviour follows the mechanisms identified
+// in the paper (see DESIGN.md §3). labeled supplies the ground truth the
+// simulator answers from; seed decorrelates repeated runs.
+func NewSimulatedClient(labeled []Pair, seed int64) Client {
+	return llm.NewSimulated(llm.BuildOracle(labeled), seed)
+}
+
+// NewOpenAIClient returns a live client for OpenAI-compatible endpoints.
+func NewOpenAIClient(baseURL, apiKey string) Client {
+	return &llm.OpenAICompatible{BaseURL: baseURL, APIKey: apiKey}
+}
+
+// Benchmarks lists the built-in synthetic benchmark names (the Table II
+// clones): WA, AB, AG, DS, DA, FZ, IA, Beer.
+func Benchmarks() []string { return datagen.Names() }
+
+// LoadBenchmark generates a synthetic benchmark clone by name.
+func LoadBenchmark(name string, seed int64) (*Dataset, error) {
+	return datagen.GenerateByName(name, seed)
+}
+
+// CustomBenchmark describes a user-defined synthetic benchmark; see
+// GenerateBenchmark.
+type CustomBenchmark = datagen.CustomSpec
+
+// BenchmarkAttr describes one attribute of a CustomBenchmark.
+type BenchmarkAttr = datagen.AttrSpec
+
+// GenerateBenchmark synthesizes a labeled two-table ER benchmark from a
+// user-defined spec — useful for stress-testing matchers on domains the
+// built-in clones do not cover.
+func GenerateBenchmark(spec CustomBenchmark, seed int64) (*Dataset, error) {
+	return datagen.GenerateCustom(spec, seed)
+}
+
+// BlockTables produces candidate pairs from two raw tables with
+// token-overlap blocking on the given attribute (empty = all attributes).
+func BlockTables(tableA, tableB []Record, attr string, minShared int) []Pair {
+	b := &blocking.TokenBlocker{Attr: attr, MinShared: minShared, MaxPostings: 512}
+	return b.Block(tableA, tableB)
+}
+
+// CostPlan projects a campaign's dollars before running it.
+type CostPlan = cost.Plan
+
+// EstimateCost builds a CostPlan for resolving the given questions with
+// the model and framework parameters, measuring per-pair token sizes on
+// a sample. labeledDemos should be the expected annotation need (e.g. a
+// covering set size from a pilot run; the paper's campaigns land between
+// ~20 and ~150).
+func EstimateCost(questions []Pair, model string, batchSize, demosPerPrompt, labeledDemos int) (CostPlan, error) {
+	m, err := llm.Lookup(model)
+	if err != nil {
+		return CostPlan{}, err
+	}
+	sample := questions
+	if len(sample) > 64 {
+		sample = sample[:64]
+	}
+	total := 0
+	for _, q := range sample {
+		total += tokens.Count(q.Serialize())
+	}
+	perPair := 90 // paper's estimate, used when no sample is available
+	if len(sample) > 0 {
+		perPair = total / len(sample)
+	}
+	return CostPlan{
+		Questions:               len(questions),
+		BatchSize:               batchSize,
+		TokensPerPair:           perPair,
+		DescriptionTokens:       tokens.Count(prompt.DefaultTaskDescription) + 30,
+		DemosPerPrompt:          demosPerPrompt,
+		OutputTokensPerQuestion: 7,
+		LabeledDemos:            labeledDemos,
+		Pricing:                 m.Pricing,
+	}, nil
+}

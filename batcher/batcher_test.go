@@ -1,0 +1,181 @@
+package batcher
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadSmall(t *testing.T) (questions, pool []Pair) {
+	t.Helper()
+	d, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SplitPairs(d.Pairs)
+	return s.Test[:40], s.Train
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	questions, pool := loadSmall(t)
+	client := NewSimulatedClient(append(append([]Pair(nil), questions...), pool...), 1)
+	m := New(client,
+		WithBatching(DiversityBatching),
+		WithSelection(CoveringSelection),
+		WithSeed(1))
+	res, err := m.Match(questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Score(questions, res.Pred)
+	if c.F1() < 60 {
+		t.Errorf("public API F1 = %.1f", c.F1())
+	}
+	if res.Ledger.Total() <= 0 {
+		t.Error("no cost recorded")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	client := NewSimulatedClient(nil, 1)
+	m := New(client,
+		WithBatchSize(4),
+		WithNumDemos(6),
+		WithModel(GPT4),
+		WithTemperature(0.5),
+		WithCoverPercentile(0.2),
+		WithJaccardFeatures(),
+	)
+	cfg := m.Config()
+	if cfg.BatchSize != 4 || cfg.NumDemos != 6 {
+		t.Errorf("sizes = %d/%d", cfg.BatchSize, cfg.NumDemos)
+	}
+	if cfg.Model != GPT4 {
+		t.Errorf("model = %q", cfg.Model)
+	}
+	if cfg.Temperature != 0.5 || cfg.CoverPercentile != 0.2 {
+		t.Errorf("temp/percentile = %v/%v", cfg.Temperature, cfg.CoverPercentile)
+	}
+	if cfg.Extractor.Name() != "JAC" {
+		t.Errorf("extractor = %q", cfg.Extractor.Name())
+	}
+}
+
+func TestExtractorOptions(t *testing.T) {
+	client := NewSimulatedClient(nil, 1)
+	for _, tc := range []struct {
+		opt  Option
+		name string
+	}{
+		{WithLRFeatures(), "LR"},
+		{WithJaccardFeatures(), "JAC"},
+		{WithSemanticFeatures(), "SEM"},
+	} {
+		m := New(client, tc.opt)
+		if got := m.Config().Extractor.Name(); got != tc.name {
+			t.Errorf("extractor = %q, want %q", got, tc.name)
+		}
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("Benchmarks() = %v", bs)
+	}
+	if bs[0] != "WA" || bs[7] != "Beer" {
+		t.Errorf("order = %v", bs)
+	}
+}
+
+func TestLoadBenchmarkUnknown(t *testing.T) {
+	if _, err := LoadBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestWithoutLabelsPublic(t *testing.T) {
+	questions, _ := loadSmall(t)
+	un := WithoutLabels(questions)
+	for _, p := range un {
+		if p.Truth != Unknown {
+			t.Fatal("labels survived WithoutLabels")
+		}
+	}
+}
+
+func TestBlockTables(t *testing.T) {
+	ta := []Record{NewRecord("a1", []string{"title"}, []string{"hoppy amber ale"})}
+	tb := []Record{
+		NewRecord("b1", []string{"title"}, []string{"hoppy amber lager"}),
+		NewRecord("b2", []string{"title"}, []string{"unrelated stout"}),
+	}
+	pairs := BlockTables(ta, tb, "title", 2)
+	if len(pairs) != 1 || pairs[0].B.ID != "b1" {
+		t.Errorf("BlockTables = %v", pairs)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.csv")
+	recs := []Record{
+		NewRecord("r1", []string{"title", "price"}, []string{"widget, deluxe", "9.99"}),
+		NewRecord("r2", []string{"title", "price"}, []string{"gadget \"pro\"", ""}),
+	}
+	if err := WriteCSVTable(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].ID != "r1" {
+		t.Errorf("id = %q", got[0].ID)
+	}
+	v, _ := got[0].Get("title")
+	if v != "widget, deluxe" {
+		t.Errorf("comma value = %q", v)
+	}
+	v, _ = got[1].Get("title")
+	if v != `gadget "pro"` {
+		t.Errorf("quoted value = %q", v)
+	}
+}
+
+func TestParseCSVTableNoID(t *testing.T) {
+	in := strings.NewReader("title,price\nwidget,9.99\n")
+	recs, err := ParseCSVTable(in, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !strings.HasPrefix(recs[0].ID, "test#") {
+		t.Errorf("recs = %v", recs)
+	}
+	if len(recs[0].Attrs) != 2 {
+		t.Errorf("attrs = %v", recs[0].Attrs)
+	}
+}
+
+func TestParseCSVTableEmpty(t *testing.T) {
+	if _, err := ParseCSVTable(strings.NewReader(""), "empty"); err == nil {
+		t.Error("empty csv should fail on header read")
+	}
+}
+
+func TestReadCSVTableMissing(t *testing.T) {
+	if _, err := ReadCSVTable(filepath.Join(os.TempDir(), "definitely-missing-xyz.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestNewWithConfig(t *testing.T) {
+	m := NewWithConfig(NewSimulatedClient(nil, 1), Config{BatchSize: 2})
+	if m.Config().BatchSize != 2 {
+		t.Errorf("cfg = %+v", m.Config())
+	}
+}

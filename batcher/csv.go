@@ -1,0 +1,94 @@
+package batcher
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSVTable reads a CSV file into records. The first row is the header
+// (attribute names); an "id" column, if present, becomes the record ID and
+// is excluded from attributes, otherwise row numbers are used.
+func ReadCSVTable(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("batcher: open table: %w", err)
+	}
+	defer f.Close()
+	return ParseCSVTable(f, path)
+}
+
+// ParseCSVTable reads CSV records from r; name is used in error messages.
+func ParseCSVTable(r io.Reader, name string) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("batcher: %s: read header: %w", name, err)
+	}
+	idCol := -1
+	var attrs []string
+	for i, h := range header {
+		if h == "id" && idCol < 0 {
+			idCol = i
+			continue
+		}
+		attrs = append(attrs, h)
+	}
+	var out []Record
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("batcher: %s: row %d: %w", name, row+2, err)
+		}
+		id := fmt.Sprintf("%s#%d", name, row)
+		vals := make([]string, 0, len(attrs))
+		for i := range header {
+			v := ""
+			if i < len(rec) {
+				v = rec[i]
+			}
+			if i == idCol {
+				if v != "" {
+					id = v
+				}
+				continue
+			}
+			vals = append(vals, v)
+		}
+		out = append(out, NewRecord(id, attrs, vals))
+		row++
+	}
+	return out, nil
+}
+
+// WriteCSVTable writes records to a CSV file with an id column first.
+func WriteCSVTable(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("batcher: create table: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if len(records) == 0 {
+		w.Flush()
+		return w.Error()
+	}
+	header := append([]string{"id"}, records[0].Attrs...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := append([]string{r.ID}, r.Values...)
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,56 @@
+package batcher
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateCostMatchesActualBand(t *testing.T) {
+	ds, err := LoadBenchmark("IA", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitPairs(ds.Pairs)
+	questions := split.Test
+
+	plan, err := EstimateCost(questions, GPT35Turbo0301, 8, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Questions != len(questions) {
+		t.Errorf("plan questions = %d", plan.Questions)
+	}
+	// Run the real thing and compare projected API dollars to actual
+	// within a factor of 2.5 (the plan does not know covering's exact
+	// demo allocation).
+	client := NewSimulatedClient(append(append([]Pair(nil), questions...), split.Train...), 1)
+	m := New(client, WithSeed(1))
+	res, err := m.Match(questions, split.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projected, actual := plan.APIDollars(), res.Ledger.API()
+	ratio := projected / actual
+	if math.IsNaN(ratio) || ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("projection $%.4f vs actual $%.4f (ratio %.2f) outside band", projected, actual, ratio)
+	}
+}
+
+func TestEstimateCostUnknownModel(t *testing.T) {
+	if _, err := EstimateCost(nil, "nope", 8, 8, 8); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestEstimateCostEmptyQuestions(t *testing.T) {
+	plan, err := EstimateCost(nil, GPT4, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TokensPerPair != 90 {
+		t.Errorf("fallback per-pair tokens = %d, want paper's 90", plan.TokensPerPair)
+	}
+	if plan.TotalDollars() != plan.LabelDollars() {
+		t.Errorf("zero questions should cost labels only: %v", plan.String())
+	}
+}

@@ -1,0 +1,80 @@
+package batcher
+
+import (
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/llm"
+	"batcher/internal/pipeline"
+)
+
+// PipelineConfig wires a blocker and a matcher into the end-to-end ER
+// system of the paper's Section II-A.
+type PipelineConfig struct {
+	// BlockAttr is the blocking key attribute (empty = all attributes).
+	BlockAttr string
+	// MinSharedTokens is the token-overlap threshold (default 2).
+	MinSharedTokens int
+	// UseMinHash switches to MinHash LSH blocking, which scales better
+	// on large tables and tolerates lower overlap.
+	UseMinHash bool
+	// MaxCandidates aborts the run if blocking produces more pairs
+	// (budget guard). Zero disables.
+	MaxCandidates int
+	// Matcher options applied to the BATCHER stage.
+	Matcher []Option
+	// Pool supplies labeled pairs for demonstration annotation; nil uses
+	// the candidates themselves (unsupervised mode).
+	Pool []Pair
+}
+
+// PipelineReport is the outcome of RunPipeline.
+type PipelineReport = pipeline.Report
+
+// PipelineMatch is one matched record ID pair.
+type PipelineMatch = pipeline.Match
+
+// RunPipeline blocks the two tables and matches the candidates.
+func RunPipeline(cfg PipelineConfig, client Client, tableA, tableB []Record) (*PipelineReport, error) {
+	var blocker blocking.Blocker
+	minShared := cfg.MinSharedTokens
+	if minShared <= 0 {
+		minShared = 2
+	}
+	if cfg.UseMinHash {
+		blocker = &blocking.MinHashBlocker{Attr: cfg.BlockAttr}
+	} else {
+		blocker = &blocking.TokenBlocker{Attr: cfg.BlockAttr, MinShared: minShared, MaxPostings: 512}
+	}
+	mcfg := core.Config{Batching: DiversityBatching, Selection: CoveringSelection}
+	for _, opt := range cfg.Matcher {
+		opt(&mcfg)
+	}
+	return pipeline.Run(pipeline.Config{
+		Blocker:       blocker,
+		Matcher:       mcfg,
+		Pool:          cfg.Pool,
+		MaxCandidates: cfg.MaxCandidates,
+	}, client, tableA, tableB)
+}
+
+// WithParallelism dispatches up to n batch prompts concurrently. Results
+// are identical to sequential execution; only wall-clock changes.
+func WithParallelism(n int) Option { return func(c *core.Config) { c.Parallelism = n } }
+
+// NewCachedClient wraps any client with an LRU response cache: repeated
+// identical prompts are served locally and bill zero tokens.
+func NewCachedClient(inner Client, maxEntries int) Client {
+	return llm.NewCached(inner, maxEntries)
+}
+
+// NewRateLimitedClient wraps a client with a requests-per-minute token
+// bucket, matching proprietary API quotas.
+func NewRateLimitedClient(inner Client, requestsPerMinute int) Client {
+	return llm.NewRateLimited(inner, requestsPerMinute)
+}
+
+// NewRetryingClient wraps a client with bounded exponential-backoff
+// retries on transient errors.
+func NewRetryingClient(inner Client, maxAttempts int) Client {
+	return llm.NewRetrying(inner, maxAttempts, 0)
+}

@@ -1,0 +1,90 @@
+package batcher
+
+import "testing"
+
+func TestRunPipelinePublic(t *testing.T) {
+	ds, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitPairs(ds.Pairs)
+	client := NewSimulatedClient(ds.Pairs, 1)
+	rep, err := RunPipeline(PipelineConfig{
+		BlockAttr:       "beer_name",
+		MinSharedTokens: 2,
+		Pool:            split.Train,
+		Matcher:         []Option{WithSeed(1), WithParallelism(4)},
+	}, client, ds.TableA[:100], ds.TableB[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	if rep.Result.Ledger.Total() <= 0 {
+		t.Error("no cost recorded")
+	}
+}
+
+func TestRunPipelineMinHash(t *testing.T) {
+	ds, _ := LoadBenchmark("Beer", 2)
+	client := NewSimulatedClient(ds.Pairs, 1)
+	rep, err := RunPipeline(PipelineConfig{
+		BlockAttr:  "beer_name",
+		UseMinHash: true,
+	}, client, ds.TableA[:60], ds.TableB[:60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates == 0 {
+		t.Error("minhash produced no candidates")
+	}
+}
+
+func TestRunPipelineCandidateGuard(t *testing.T) {
+	ds, _ := LoadBenchmark("Beer", 1)
+	client := NewSimulatedClient(nil, 1)
+	if _, err := RunPipeline(PipelineConfig{MaxCandidates: 1}, client, ds.TableA[:50], ds.TableB[:50]); err == nil {
+		t.Error("candidate guard not applied")
+	}
+}
+
+func TestCachedClientPublic(t *testing.T) {
+	ds, _ := LoadBenchmark("Beer", 1)
+	split := SplitPairs(ds.Pairs)
+	qs := split.Test[:16]
+	inner := NewSimulatedClient(ds.Pairs, 1)
+	cached := NewCachedClient(inner, 100)
+	m1 := New(cached, WithSeed(1))
+	r1, err := m1.Match(qs, split.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second identical run: all prompts served from cache, zero API cost.
+	m2 := New(cached, WithSeed(1))
+	r2, err := m2.Match(qs, split.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ledger.API() <= 0 {
+		t.Error("first run should bill")
+	}
+	if r2.Ledger.API() != 0 {
+		t.Errorf("cached rerun billed $%v", r2.Ledger.API())
+	}
+	for i := range r1.Pred {
+		if r1.Pred[i] != r2.Pred[i] {
+			t.Fatal("cached rerun changed predictions")
+		}
+	}
+}
+
+func TestClientWrappersConstruct(t *testing.T) {
+	inner := NewSimulatedClient(nil, 1)
+	if NewRateLimitedClient(inner, 60) == nil {
+		t.Error("rate limited nil")
+	}
+	if NewRetryingClient(inner, 3) == nil {
+		t.Error("retrying nil")
+	}
+}

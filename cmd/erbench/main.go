@@ -1,0 +1,181 @@
+// Command erbench regenerates the paper's tables and figures on the
+// synthetic benchmark clones.
+//
+// Usage:
+//
+//	erbench [-exp all|table3|table4|table5|table6|table7|fig6|fig7]
+//	        [-datasets WA,AB,...] [-seeds 1,2,3] [-qcap N] [-poolcap N]
+//
+// With no flags it runs every experiment on all eight datasets with three
+// seeds, printing each table in the paper's layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"batcher/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, table5, table6, table7, fig6, fig7, ablations, findings")
+	datasets := flag.String("datasets", "", "comma-separated dataset codes (default all)")
+	seeds := flag.String("seeds", "1,2,3", "comma-separated run seeds")
+	qcap := flag.Int("qcap", 0, "cap on test questions per dataset (0 = all)")
+	poolcap := flag.Int("poolcap", 0, "cap on demonstration pool size (0 = all)")
+	flag.Parse()
+
+	o := eval.Options{QuestionCap: *qcap, PoolCap: *poolcap}
+	if *datasets != "" {
+		o.Datasets = strings.Split(*datasets, ",")
+	}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		o.Seeds = append(o.Seeds, v)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table3") {
+		run("table3", func() error {
+			rows, err := eval.RunTable3(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable3(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig6") {
+		run("fig6", func() error {
+			bars, err := eval.RunFigure6(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatFigure6(os.Stdout, bars)
+			return nil
+		})
+	}
+	if want("table4") {
+		run("table4", func() error {
+			rows, err := eval.RunTable4(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable4(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig7") {
+		run("fig7", func() error {
+			series, err := eval.RunFigure7(o, nil)
+			if err != nil {
+				return err
+			}
+			eval.FormatFigure7(os.Stdout, series)
+			return nil
+		})
+	}
+	if want("table5") {
+		run("table5", func() error {
+			rows, err := eval.RunTable5(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable5(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("table6") {
+		run("table6", func() error {
+			rows, err := eval.RunTable6(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable6(os.Stdout, rows)
+			frac, err := eval.RunLlama2BatchCheck(o)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Llama2-chat-70B under batch prompting: %.0f%% of questions unanswered (omitted, as in the paper)\n", 100*frac)
+			return nil
+		})
+	}
+	if want("table7") {
+		run("table7", func() error {
+			rows, err := eval.RunTable7(o)
+			if err != nil {
+				return err
+			}
+			eval.FormatTable7(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("ablations") {
+		run("ablations", func() error {
+			ao := o
+			if len(ao.Datasets) > 2 {
+				ao.Datasets = []string{"WA", "DA"} // representative pair
+			}
+			sweeps := []func() ([]eval.AblationResult, error){
+				func() ([]eval.AblationResult, error) { return eval.RunAblationCoverThreshold(ao, nil) },
+				func() ([]eval.AblationResult, error) { return eval.RunAblationBatchSize(ao, nil) },
+				func() ([]eval.AblationResult, error) { return eval.RunAblationDistance(ao) },
+				func() ([]eval.AblationResult, error) { return eval.RunAblationParallelism(ao) },
+			}
+			for _, sweep := range sweeps {
+				res, err := sweep()
+				if err != nil {
+					return err
+				}
+				eval.FormatAblations(os.Stdout, res)
+			}
+			return nil
+		})
+	}
+	if want("extended") {
+		run("extended", func() error {
+			eo := o
+			if eo.QuestionCap == 0 {
+				eo.QuestionCap = 400
+			}
+			rows, err := eval.RunExtendedSelection(eo)
+			if err != nil {
+				return err
+			}
+			eval.FormatExtendedSelection(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("findings") {
+		run("findings", func() error {
+			fo := o
+			if fo.QuestionCap == 0 {
+				fo.QuestionCap = 300 // checks need directions, not scale
+			}
+			findings, err := eval.CheckFindings(fo)
+			if err != nil {
+				return err
+			}
+			eval.FormatFindings(os.Stdout, findings)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command erdiag prints a per-dataset diagnostic of the simulated LLM's
+// error structure: precision/recall/F1 for standard and batch prompting
+// plus false-positive/false-negative counts broken down by alignment class
+// (deceptive / boundary / easy). It is the tool used to calibrate the
+// benchmark clones against the paper's Table III.
+//
+// Usage:
+//
+//	erdiag [dataset ...]   # default: all eight
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"batcher/internal/core"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/llm"
+	"batcher/internal/metrics"
+)
+
+func main() {
+	ex := feature.NewLR()
+	names := datagen.Names()
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	for _, name := range names {
+		d, _ := datagen.GenerateByName(name, 1)
+		split := entity.SplitPairs(d.Pairs)
+		qs, pool := split.Test, split.Train
+		all := append(append([]entity.Pair{}, qs...), pool...)
+		oracle := llm.BuildOracle(all)
+		for _, mode := range []string{"std", "batch"} {
+			cfg := core.Config{BatchSize: 1, Selection: core.FixedSelection, Seed: 1}
+			if mode == "batch" {
+				cfg.BatchSize = 8
+				cfg.Batching = core.RandomBatching
+			}
+			f := core.New(cfg, llm.NewSimulated(oracle, 1))
+			res, err := f.Resolve(qs, pool)
+			if err != nil {
+				panic(err)
+			}
+			var c metrics.Confusion
+			c.AddAll(entity.Labels(qs), res.Pred)
+			// error breakdown by class
+			var fnDec, fnBnd, fnEasy, fpDec, fpBnd, fpEasy int
+			for i, p := range qs {
+				if res.Pred[i] == p.Truth || (res.Pred[i] == entity.Unknown && p.Truth == entity.NonMatch) {
+					continue
+				}
+				a := feature.Alignment(ex.Extract(p), p.Truth == entity.Match)
+				cls := 2
+				if a < -0.05 {
+					cls = 0
+				} else if a < 0.05 {
+					cls = 1
+				}
+				if p.Truth == entity.Match {
+					switch cls {
+					case 0:
+						fnDec++
+					case 1:
+						fnBnd++
+					default:
+						fnEasy++
+					}
+				} else {
+					switch cls {
+					case 0:
+						fpDec++
+					case 1:
+						fpBnd++
+					default:
+						fpEasy++
+					}
+				}
+			}
+			fmt.Printf("%-5s %-6s %s  FN(dec/bnd/easy)=%d/%d/%d FP=%d/%d/%d\n",
+				name, mode, c.String(), fnDec, fnBnd, fnEasy, fpDec, fpBnd, fpEasy)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Budget: choose a batch-prompting design point under a total dollar
+// budget (API + labeling). Sweeps the design space on a validation slice,
+// discards configurations that would blow the budget on the full
+// workload, and picks the highest-F1 survivor — the practitioner workflow
+// the paper's design-space findings support.
+//
+// Run with:
+//
+//	go run ./examples/budget -budget 2.50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"batcher/batcher"
+)
+
+func main() {
+	budget := flag.Float64("budget", 2.50, "total budget in dollars for the full workload")
+	flag.Parse()
+
+	ds, err := batcher.LoadBenchmark("AB", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := batcher.SplitPairs(ds.Pairs)
+	valid := split.Valid[:256] // size the sweep on the validation split
+	full := split.Test
+	pool := split.Train
+	labeled := append(append([]batcher.Pair(nil), valid...), pool...)
+
+	scale := float64(len(full)) / float64(len(valid))
+	fmt.Printf("budget $%.2f for %d test pairs (sweep on %d validation pairs, scale %.1fx)\n\n",
+		*budget, len(full), len(valid), scale)
+	fmt.Printf("%-12s %-14s %8s %12s %s\n", "batching", "selection", "val F1", "proj. cost", "verdict")
+
+	type choice struct {
+		b    batcher.BatchStrategy
+		s    batcher.SelectStrategy
+		f1   float64
+		cost float64
+	}
+	var feasible []choice
+	for _, b := range []batcher.BatchStrategy{batcher.RandomBatching, batcher.SimilarityBatching, batcher.DiversityBatching} {
+		for _, s := range []batcher.SelectStrategy{batcher.FixedSelection, batcher.TopKBatch, batcher.TopKQuestion, batcher.CoveringSelection} {
+			m := batcher.New(batcher.NewSimulatedClient(labeled, 11),
+				batcher.WithBatching(b), batcher.WithSelection(s), batcher.WithSeed(11))
+			res, err := m.Match(valid, pool)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f1 := batcher.Score(valid, res.Pred).F1()
+			// API scales with questions; labeling scales sublinearly for
+			// covering (the set is shared), linearly for topk. Project
+			// conservatively: API x scale, labels x scale.
+			projected := res.Ledger.API()*scale + res.Ledger.Labeling()*scale
+			verdict := "over budget"
+			if projected <= *budget {
+				verdict = "ok"
+				feasible = append(feasible, choice{b, s, f1, projected})
+			}
+			fmt.Printf("%-12v %-14v %8.2f %11.2f$ %s\n", b, s, f1, projected, verdict)
+		}
+	}
+	if len(feasible) == 0 {
+		fmt.Println("\nno design point fits the budget; raise it or shrink the workload")
+		return
+	}
+	best := feasible[0]
+	for _, c := range feasible[1:] {
+		if c.f1 > best.f1 {
+			best = c
+		}
+	}
+	fmt.Printf("\nchosen: %v batching + %v selection (val F1 %.2f, projected $%.2f)\n",
+		best.b, best.s, best.f1, best.cost)
+
+	// Run the chosen configuration on the full test workload.
+	labeledFull := append(append([]batcher.Pair(nil), full...), pool...)
+	m := batcher.New(batcher.NewSimulatedClient(labeledFull, 11),
+		batcher.WithBatching(best.b), batcher.WithSelection(best.s), batcher.WithSeed(11))
+	res, err := m.Match(full, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full run: F1 %.2f at actual cost $%.2f (budget $%.2f)\n",
+		batcher.Score(full, res.Pred).F1(), res.Ledger.Total(), *budget)
+}

@@ -1,0 +1,67 @@
+// Custom: define your own synthetic ER benchmark, project the campaign
+// cost before spending anything, then run BATCHER and compare projection
+// to actuals — the planning workflow for a new domain.
+//
+// Run with:
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batcher/batcher"
+)
+
+func main() {
+	// A movie-matching benchmark: titles from a small vocabulary, a
+	// director attribute that hard negatives share (same director's other
+	// films are the confusable cases), and a numeric year.
+	spec := batcher.CustomBenchmark{
+		Name: "Movies", Domain: "Film",
+		Attrs: []batcher.BenchmarkAttr{
+			{Name: "title", Tokens: 3, Vocab: []string{
+				"dark", "silent", "last", "first", "lost", "night", "city",
+				"king", "river", "storm", "iron", "glass", "hidden", "red",
+			}},
+			{Name: "director", KeepOnHardNeg: true, Vocab: []string{
+				"kubrick", "nolan", "scott", "villeneuve", "bigelow", "mann",
+				"fincher", "tarantino", "coppola", "spielberg",
+			}},
+			{Name: "year", Numeric: true, Min: 1970, Max: 2020},
+		},
+		NumPairs:   1200,
+		NumMatches: 200,
+		Hardness:   0.45,
+	}
+	ds, err := batcher.GenerateBenchmark(spec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ds.ComputeStats().String())
+
+	split := batcher.SplitPairs(ds.Pairs)
+	questions, pool := split.Test, split.Train
+
+	// Project the cost before any API call.
+	plan, err := batcher.EstimateCost(questions, batcher.GPT35Turbo0301, 8, 4, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.String())
+	fmt.Printf("batch-size sweep (projected total $): %v\n\n",
+		plan.CompareBatchSizes([]int{1, 4, 8, 16}))
+
+	// Run for real against the simulator and compare.
+	client := batcher.NewSimulatedClient(ds.Pairs, 1)
+	m := batcher.New(client, batcher.WithSeed(1))
+	res, err := m.Match(questions, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("actual:   %s\n", res.Ledger.String())
+	fmt.Printf("quality:  %s\n", batcher.Score(questions, res.Pred).String())
+	fmt.Printf("projection error on API $: %.0f%%\n",
+		100*(plan.APIDollars()-res.Ledger.API())/res.Ledger.API())
+}

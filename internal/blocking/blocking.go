@@ -1,0 +1,195 @@
+// Package blocking implements the candidate-generation stage of an
+// end-to-end ER system. The paper treats blocking as given (Section II-A)
+// and evaluates matchers over pre-blocked candidate sets; this package
+// exists so the library ships a complete pipeline: the cmd/ermatch tool
+// and the examples block raw tables before matching.
+//
+// Two standard blockers are provided: token-overlap blocking (records
+// sharing at least k tokens on a key attribute become candidates) and
+// q-gram blocking for typo robustness.
+package blocking
+
+import (
+	"sort"
+
+	"batcher/internal/entity"
+	"batcher/internal/strsim"
+)
+
+// Blocker produces candidate pairs from two tables.
+type Blocker interface {
+	// Block returns candidate pairs (a, b) with a from tableA and b from
+	// tableB, deduplicated, in deterministic order.
+	Block(tableA, tableB []entity.Record) []entity.Pair
+}
+
+// TokenBlocker pairs records sharing at least MinShared tokens on the
+// chosen attribute.
+type TokenBlocker struct {
+	// Attr is the blocking key attribute; empty means all attributes
+	// concatenated.
+	Attr string
+	// MinShared is the minimum number of shared tokens (>= 1).
+	MinShared int
+	// StopTokens are ignored when indexing (very frequent tokens would
+	// otherwise produce a quadratic candidate set).
+	StopTokens map[string]bool
+	// MaxPostings caps the inverted-list length per token; longer lists
+	// are dropped as too frequent. Zero means no cap.
+	MaxPostings int
+}
+
+// keyText returns the blocking text of a record.
+func (b *TokenBlocker) keyText(r entity.Record) string {
+	if b.Attr == "" {
+		return r.Serialize()
+	}
+	v, _ := r.Get(b.Attr)
+	return v
+}
+
+// Block implements Blocker with an inverted index over tokens.
+func (b *TokenBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	minShared := b.MinShared
+	if minShared < 1 {
+		minShared = 1
+	}
+	// Index table B by token.
+	postings := make(map[string][]int)
+	for j, r := range tableB {
+		for tok := range strsim.TokenSet(b.keyText(r)) {
+			if b.StopTokens[tok] {
+				continue
+			}
+			postings[tok] = append(postings[tok], j)
+		}
+	}
+	if b.MaxPostings > 0 {
+		for tok, list := range postings {
+			if len(list) > b.MaxPostings {
+				delete(postings, tok)
+			}
+		}
+	}
+	var pairs []entity.Pair
+	for _, ra := range tableA {
+		counts := make(map[int]int)
+		for tok := range strsim.TokenSet(b.keyText(ra)) {
+			if b.StopTokens[tok] {
+				continue
+			}
+			for _, j := range postings[tok] {
+				counts[j]++
+			}
+		}
+		js := make([]int, 0, len(counts))
+		for j, c := range counts {
+			if c >= minShared {
+				js = append(js, j)
+			}
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
+		}
+	}
+	return pairs
+}
+
+// QGramBlocker pairs records sharing at least MinShared q-grams on the key
+// attribute, surviving token-level typos that defeat TokenBlocker.
+type QGramBlocker struct {
+	// Attr is the blocking key attribute; empty means all attributes.
+	Attr string
+	// Q is the gram size (default 3).
+	Q int
+	// MinShared is the minimum number of shared grams (default 2).
+	MinShared int
+	// MaxPostings caps per-gram list length. Zero means 256.
+	MaxPostings int
+}
+
+// Block implements Blocker.
+func (b *QGramBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	q := b.Q
+	if q <= 0 {
+		q = 3
+	}
+	minShared := b.MinShared
+	if minShared < 1 {
+		minShared = 2
+	}
+	maxPost := b.MaxPostings
+	if maxPost <= 0 {
+		maxPost = 256
+	}
+	key := func(r entity.Record) string {
+		if b.Attr == "" {
+			return r.Serialize()
+		}
+		v, _ := r.Get(b.Attr)
+		return v
+	}
+	postings := make(map[string][]int)
+	for j, r := range tableB {
+		for g := range strsim.QGrams(key(r), q) {
+			postings[g] = append(postings[g], j)
+		}
+	}
+	for g, list := range postings {
+		if len(list) > maxPost {
+			delete(postings, g)
+		}
+	}
+	var pairs []entity.Pair
+	for _, ra := range tableA {
+		counts := make(map[int]int)
+		for g := range strsim.QGrams(key(ra), q) {
+			for _, j := range postings[g] {
+				counts[j]++
+			}
+		}
+		js := make([]int, 0, len(counts))
+		for j, c := range counts {
+			if c >= minShared {
+				js = append(js, j)
+			}
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
+		}
+	}
+	return pairs
+}
+
+// Stats summarizes a blocker's output against gold matches for quality
+// reporting: pair completeness (recall of true matches) and reduction
+// ratio versus the full cross product.
+type Stats struct {
+	Candidates       int
+	CrossProduct     int
+	PairCompleteness float64
+	ReductionRatio   float64
+}
+
+// Evaluate computes blocking stats. gold maps Pair.Key() of true matches.
+func Evaluate(cands []entity.Pair, gold map[string]bool, sizeA, sizeB int) Stats {
+	found := 0
+	for _, p := range cands {
+		if gold[p.Key()] {
+			found++
+		}
+	}
+	s := Stats{
+		Candidates:   len(cands),
+		CrossProduct: sizeA * sizeB,
+	}
+	if len(gold) > 0 {
+		s.PairCompleteness = float64(found) / float64(len(gold))
+	}
+	if s.CrossProduct > 0 {
+		s.ReductionRatio = 1 - float64(len(cands))/float64(s.CrossProduct)
+	}
+	return s
+}

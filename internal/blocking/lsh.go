@@ -1,0 +1,211 @@
+package blocking
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"batcher/internal/entity"
+	"batcher/internal/strsim"
+)
+
+// MinHashBlocker pairs records whose token sets collide in at least one
+// MinHash LSH band — an approximate Jaccard-similarity join. It scales to
+// large tables where exact token-overlap indexing produces oversized
+// candidate sets, and its recall/selectivity trade-off is governed by the
+// usual (bands, rows) S-curve: a pair with Jaccard s collides with
+// probability 1 - (1 - s^rows)^bands.
+type MinHashBlocker struct {
+	// Attr is the blocking key attribute; empty means all attributes.
+	Attr string
+	// Bands and Rows shape the LSH S-curve. Defaults: 8 bands x 4 rows
+	// (32 permutations), tuned for moderately dirty titles.
+	Bands, Rows int
+	// Seed derives the hash permutations.
+	Seed uint64
+}
+
+func (b *MinHashBlocker) bands() int {
+	if b.Bands <= 0 {
+		return 8
+	}
+	return b.Bands
+}
+
+func (b *MinHashBlocker) rows() int {
+	if b.Rows <= 0 {
+		return 4
+	}
+	return b.Rows
+}
+
+// signature computes the MinHash signature of a token set. Each of the
+// bands*rows permutations is simulated by salting FNV-64.
+func (b *MinHashBlocker) signature(tokens map[string]bool) []uint64 {
+	n := b.bands() * b.rows()
+	sig := make([]uint64, n)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for tok := range tokens {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		base := h.Sum64()
+		for i := 0; i < n; i++ {
+			// Salted permutation: a cheap xorshift-style mix of the base
+			// hash with the permutation index and seed.
+			v := base ^ (uint64(i)*0x9e3779b97f4a7c15 + b.Seed)
+			v ^= v >> 33
+			v *= 0xff51afd7ed558ccd
+			v ^= v >> 33
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+func (b *MinHashBlocker) keyText(r entity.Record) string {
+	if b.Attr == "" {
+		return r.Serialize()
+	}
+	v, _ := r.Get(b.Attr)
+	return v
+}
+
+// Block implements Blocker.
+func (b *MinHashBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	rows, bands := b.rows(), b.bands()
+	// Index table B: band hash -> record indices.
+	buckets := make(map[string][]int)
+	bandKey := func(sig []uint64, band int) string {
+		h := fnv.New64a()
+		for r := 0; r < rows; r++ {
+			v := sig[band*rows+r]
+			var buf [8]byte
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(v >> (8 * k))
+			}
+			h.Write(buf[:])
+		}
+		return fmt.Sprintf("%d:%x", band, h.Sum64())
+	}
+	sigsB := make([][]uint64, len(tableB))
+	for j, r := range tableB {
+		sigsB[j] = b.signature(strsim.TokenSet(b.keyText(r)))
+		for band := 0; band < bands; band++ {
+			k := bandKey(sigsB[j], band)
+			buckets[k] = append(buckets[k], j)
+		}
+	}
+	var pairs []entity.Pair
+	for _, ra := range tableA {
+		sig := b.signature(strsim.TokenSet(b.keyText(ra)))
+		cands := make(map[int]bool)
+		for band := 0; band < bands; band++ {
+			for _, j := range buckets[bandKey(sig, band)] {
+				cands[j] = true
+			}
+		}
+		js := make([]int, 0, len(cands))
+		for j := range cands {
+			js = append(js, j)
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
+		}
+	}
+	return pairs
+}
+
+// SortedNeighborhood implements the classic sorted-neighborhood blocker:
+// both tables are merged, sorted by a key derived from the blocking
+// attribute, and a fixed-size window slides over the sorted order pairing
+// cross-table records that fall within it. Robust to moderate key noise
+// when the sort key uses a prefix.
+type SortedNeighborhood struct {
+	// Attr is the blocking key attribute; empty means all attributes.
+	Attr string
+	// Window is the sliding window size (default 5).
+	Window int
+	// KeyPrefix truncates the sort key to this many bytes (default 8);
+	// shorter prefixes tolerate more suffix noise.
+	KeyPrefix int
+}
+
+// Block implements Blocker.
+func (s *SortedNeighborhood) Block(tableA, tableB []entity.Record) []entity.Pair {
+	window := s.Window
+	if window <= 0 {
+		window = 5
+	}
+	prefix := s.KeyPrefix
+	if prefix <= 0 {
+		prefix = 8
+	}
+	type entry struct {
+		key   string
+		idx   int
+		fromA bool
+	}
+	key := func(r entity.Record) string {
+		text := r.Serialize()
+		if s.Attr != "" {
+			text, _ = r.Get(s.Attr)
+		}
+		toks := strsim.Tokenize(text)
+		sort.Strings(toks)
+		k := ""
+		for _, t := range toks {
+			k += t
+		}
+		if len(k) > prefix {
+			k = k[:prefix]
+		}
+		return k
+	}
+	entries := make([]entry, 0, len(tableA)+len(tableB))
+	for i, r := range tableA {
+		entries = append(entries, entry{key: key(r), idx: i, fromA: true})
+	}
+	for j, r := range tableB {
+		entries = append(entries, entry{key: key(r), idx: j, fromA: false})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		// Table A first within equal keys for determinism.
+		return entries[i].fromA && !entries[j].fromA
+	})
+	seen := make(map[string]bool)
+	var pairs []entity.Pair
+	for i, e := range entries {
+		if !e.fromA {
+			continue
+		}
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for k := lo; k < hi; k++ {
+			other := entries[k]
+			if other.fromA {
+				continue
+			}
+			p := entity.Pair{A: tableA[e.idx], B: tableB[other.idx], Truth: entity.Unknown}
+			if !seen[p.Key()] {
+				seen[p.Key()] = true
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key() < pairs[j].Key() })
+	return pairs
+}

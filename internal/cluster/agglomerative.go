@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"batcher/internal/feature"
+)
+
+// Linkage selects how inter-cluster distance is computed during
+// agglomerative merging.
+type Linkage int
+
+const (
+	// SingleLinkage merges on the minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on the maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges on the mean pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// Agglomerative performs hierarchical agglomerative clustering, cutting
+// the dendrogram when k clusters remain or when the next merge distance
+// exceeds maxDist (whichever comes first; pass k <= 1 or maxDist <= 0 to
+// disable that criterion). It is an alternative to DBSCAN for question
+// clustering when density parameters are hard to calibrate.
+func Agglomerative(points []feature.Vector, dist feature.Distance, linkage Linkage, k int, maxDist float64) Result {
+	n := len(points)
+	if n == 0 {
+		return Result{Assign: nil, K: 0}
+	}
+	if k <= 1 {
+		k = 1
+	}
+	if maxDist <= 0 {
+		maxDist = math.Inf(1)
+	}
+	// Pairwise distance matrix: O(n^2) memory, fine for batch-prompting
+	// scale (thousands of questions).
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(points[i], points[j])
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	// Cluster distance table over representatives, updated per merge via
+	// the Lance-Williams recurrences for the three supported linkages.
+	cd := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	alive := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		for j := i + 1; j < n; j++ {
+			cd[key(i, j)] = d[i][j]
+		}
+	}
+	pq := &mergeHeap{}
+	heap.Init(pq)
+	for k2, v := range cd {
+		heap.Push(pq, merge{a: k2[0], b: k2[1], dist: v})
+	}
+	clusters := n
+	for clusters > k && pq.Len() > 0 {
+		m := heap.Pop(pq).(*merge)
+		a, b := find(m.a), find(m.b)
+		if a == b || !alive[a] || !alive[b] {
+			continue
+		}
+		// Stale-entry check: the heap may hold outdated distances.
+		if cur, ok := cd[key(a, b)]; !ok || math.Abs(cur-m.dist) > 1e-12 {
+			continue
+		}
+		if m.dist > maxDist {
+			break
+		}
+		// Merge b into a.
+		na, nb := size[a], size[b]
+		parent[b] = a
+		size[a] = na + nb
+		alive[b] = false
+		clusters--
+		for c := range alive {
+			if !alive[c] || c == a {
+				continue
+			}
+			dac, dbc := cd[key(a, c)], cd[key(b, c)]
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(dac, dbc)
+			case CompleteLinkage:
+				nd = math.Max(dac, dbc)
+			default: // AverageLinkage
+				nd = (float64(na)*dac + float64(nb)*dbc) / float64(na+nb)
+			}
+			cd[key(a, c)] = nd
+			delete(cd, key(b, c))
+			heap.Push(pq, merge{a: a, b: c, dist: nd})
+		}
+		delete(cd, key(a, b))
+	}
+	// Relabel roots to dense cluster IDs.
+	label := make(map[int]int)
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		assign[i] = id
+	}
+	return Result{Assign: assign, K: len(label)}
+}
+
+// merge is a candidate cluster merge in the priority queue.
+type merge struct {
+	a, b int
+	dist float64
+}
+
+type mergeHeap []*merge
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, toMerge(x)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func toMerge(x interface{}) *merge {
+	if m, ok := x.(*merge); ok {
+		return m
+	}
+	m := x.(merge)
+	return &m
+}
+
+// Silhouette returns the mean silhouette coefficient of an assignment in
+// [-1, 1]: how well each point fits its own cluster versus the nearest
+// other cluster. Noise points and singleton clusters contribute 0.
+func Silhouette(points []feature.Vector, assign []int, dist feature.Distance) float64 {
+	n := len(points)
+	if n == 0 || n != len(assign) {
+		return 0
+	}
+	byCluster := make(map[int][]int)
+	for i, c := range assign {
+		if c != Noise {
+			byCluster[c] = append(byCluster[c], i)
+		}
+	}
+	if len(byCluster) < 2 {
+		return 0
+	}
+	var sum float64
+	var counted int
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		if c == Noise || len(byCluster[c]) < 2 {
+			counted++
+			continue // contributes 0
+		}
+		// a(i): mean distance to own cluster (excluding self).
+		var a float64
+		for _, j := range byCluster[c] {
+			if j != i {
+				a += dist(points[i], points[j])
+			}
+		}
+		a /= float64(len(byCluster[c]) - 1)
+		// b(i): minimum over other clusters of mean distance.
+		b := math.Inf(1)
+		for oc, members := range byCluster {
+			if oc == c {
+				continue
+			}
+			var m float64
+			for _, j := range members {
+				m += dist(points[i], points[j])
+			}
+			m /= float64(len(members))
+			if m < b {
+				b = m
+			}
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			sum += (b - a) / denom
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}

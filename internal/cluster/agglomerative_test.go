@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+
+	"batcher/internal/feature"
+)
+
+func TestAgglomerativeSeparatedBlobs(t *testing.T) {
+	pts, truth := blobs(60, 21)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		res := Agglomerative(pts, feature.Euclidean, linkage, 3, 0)
+		if res.K != 3 {
+			t.Fatalf("linkage %d: K = %d, want 3", linkage, res.K)
+		}
+		blobToCluster := map[int]int{}
+		for i, c := range res.Assign {
+			if prev, ok := blobToCluster[truth[i]]; ok && prev != c {
+				t.Fatalf("linkage %d: blob %d split", linkage, truth[i])
+			}
+			blobToCluster[truth[i]] = c
+		}
+	}
+}
+
+func TestAgglomerativeMaxDistCut(t *testing.T) {
+	// Two tight pairs far apart: with maxDist between the scales, merging
+	// stops at 2 clusters even when k=1 is requested.
+	pts := []feature.Vector{{0}, {0.1}, {100}, {100.1}}
+	res := Agglomerative(pts, feature.Euclidean, SingleLinkage, 1, 1.0)
+	if res.K != 2 {
+		t.Errorf("K = %d, want 2 (cut by maxDist)", res.K)
+	}
+}
+
+func TestAgglomerativeKOne(t *testing.T) {
+	pts, _ := blobs(30, 22)
+	res := Agglomerative(pts, feature.Euclidean, AverageLinkage, 1, 0)
+	if res.K != 1 {
+		t.Errorf("K = %d, want 1", res.K)
+	}
+	for _, c := range res.Assign {
+		if c != res.Assign[0] {
+			t.Fatal("not all points in the single cluster")
+		}
+	}
+}
+
+func TestAgglomerativeEmptyAndSingle(t *testing.T) {
+	if res := Agglomerative(nil, feature.Euclidean, SingleLinkage, 2, 0); res.K != 0 {
+		t.Errorf("empty K = %d", res.K)
+	}
+	res := Agglomerative([]feature.Vector{{1}}, feature.Euclidean, SingleLinkage, 2, 0)
+	if res.K != 1 || res.Assign[0] != 0 {
+		t.Errorf("single point = %+v", res)
+	}
+}
+
+func TestAgglomerativeDeterministic(t *testing.T) {
+	pts, _ := blobs(45, 23)
+	a := Agglomerative(pts, feature.Euclidean, CompleteLinkage, 3, 0)
+	b := Agglomerative(pts, feature.Euclidean, CompleteLinkage, 3, 0)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("agglomerative not deterministic")
+		}
+	}
+}
+
+func TestSingleVsCompleteLinkageOnChain(t *testing.T) {
+	// A chain of points: single linkage merges the whole chain early;
+	// complete linkage resists, producing more balanced clusters at k=2.
+	var pts []feature.Vector
+	for i := 0; i < 10; i++ {
+		pts = append(pts, feature.Vector{float64(i)})
+	}
+	single := Agglomerative(pts, feature.Euclidean, SingleLinkage, 2, 0)
+	complete := Agglomerative(pts, feature.Euclidean, CompleteLinkage, 2, 0)
+	sizes := func(r Result) (int, int) {
+		var a, b int
+		for _, c := range r.Assign {
+			if c == r.Assign[0] {
+				a++
+			} else {
+				b++
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return a, b
+	}
+	sMin, _ := sizes(single)
+	cMin, _ := sizes(complete)
+	if cMin < sMin {
+		t.Errorf("complete linkage should give more balanced clusters: single min=%d complete min=%d", sMin, cMin)
+	}
+}
+
+func TestSilhouetteGoodVsBadClustering(t *testing.T) {
+	pts, truth := blobs(60, 24)
+	good := Silhouette(pts, truth, feature.Euclidean)
+	// Bad assignment: contiguous blocks, which cut across the interleaved
+	// blobs (blobs() assigns centers round-robin).
+	bad := make([]int, len(pts))
+	for i := range bad {
+		bad[i] = i / (len(pts) / 3)
+	}
+	badScore := Silhouette(pts, bad, feature.Euclidean)
+	if good <= badScore {
+		t.Errorf("silhouette: good %.3f should beat bad %.3f", good, badScore)
+	}
+	if good < 0.5 {
+		t.Errorf("well-separated blobs silhouette = %.3f, want high", good)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette(nil, nil, feature.Euclidean); s != 0 {
+		t.Errorf("empty = %v", s)
+	}
+	pts := []feature.Vector{{0}, {1}}
+	if s := Silhouette(pts, []int{0, 0}, feature.Euclidean); s != 0 {
+		t.Errorf("single cluster = %v", s)
+	}
+	if s := Silhouette(pts, []int{Noise, Noise}, feature.Euclidean); s != 0 {
+		t.Errorf("all noise = %v", s)
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	pts, _ := blobs(40, 25)
+	res := DBSCAN(pts, feature.Euclidean, 2.0, 3)
+	s := Silhouette(pts, res.Assign, feature.Euclidean)
+	if s < -1 || s > 1 {
+		t.Errorf("silhouette out of range: %v", s)
+	}
+}
+
+func BenchmarkAgglomerative(b *testing.B) {
+	pts, _ := blobs(200, 26)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Agglomerative(pts, feature.Euclidean, AverageLinkage, 5, 0)
+	}
+}

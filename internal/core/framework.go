@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"batcher/internal/cost"
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/llm"
+	"batcher/internal/prompt"
+)
+
+// Framework is a configured BATCHER instance bound to an LLM client.
+type Framework struct {
+	cfg    Config
+	client llm.Client
+}
+
+// New returns a Framework with defaults applied.
+func New(cfg Config, client llm.Client) *Framework {
+	return &Framework{cfg: cfg.applyDefaults(), client: client}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (f *Framework) Config() Config { return f.cfg }
+
+// Result is the outcome of resolving a question set.
+type Result struct {
+	// Pred holds one label per input question, aligned by index. Unknown
+	// means the LLM's answer was missing or unparseable; metrics treat it
+	// as a non-match.
+	Pred []entity.Label
+	// Batches records the generated question batches (index lists).
+	Batches Batches
+	// DemosLabeled is the number of distinct pool pairs annotated.
+	DemosLabeled int
+	// Ledger accumulates the run's monetary cost.
+	Ledger cost.Ledger
+	// PromptTokens is the total input tokens across batch prompts.
+	PromptTokens int
+	// TrimmedDemos counts demonstrations dropped to fit context windows.
+	TrimmedDemos int
+}
+
+// Resolve answers every question using batch prompting over the unlabeled
+// demonstration pool. The pool pairs carry hidden gold labels (Truth);
+// the framework reads a label only when it "annotates" the pair, and each
+// annotation is charged to the ledger once.
+func (f *Framework) Resolve(questions, pool []entity.Pair) (*Result, error) {
+	if len(questions) == 0 {
+		return &Result{}, nil
+	}
+	cfg := f.cfg
+	qVecs := feature.ExtractAll(cfg.Extractor, questions)
+	dVecs := feature.ExtractAll(cfg.Extractor, pool)
+
+	batches := makeBatches(cfg, qVecs)
+	if err := checkPartition(batches, len(questions)); err != nil {
+		return nil, err
+	}
+	sel := selectDemos(cfg, batches, qVecs, dVecs, pool)
+
+	res := &Result{
+		Pred:         make([]entity.Label, len(questions)),
+		Batches:      batches,
+		DemosLabeled: len(sel.labeled),
+	}
+	for i := range res.Pred {
+		res.Pred[i] = entity.Unknown
+	}
+	// Annotation happens up front, as in Figure 2's "Manual Labeling".
+	res.Ledger.AddLabels(len(sel.labeled))
+
+	model, err := llm.Lookup(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Parallelism > 1 {
+		if err := f.resolveParallel(model, batches, sel, questions, pool, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	for bi, batch := range batches {
+		demos := f.annotate(pool, sel.perBatch[bi])
+		qs := make([]entity.Pair, len(batch))
+		for i, qi := range batch {
+			qs[i] = questions[qi]
+		}
+		resp, trimmed, err := f.callWithTrim(model, demos, qs)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch %d: %w", bi, err)
+		}
+		res.TrimmedDemos += trimmed
+		res.Ledger.AddCall(model.Pricing, resp.InputTokens, resp.OutputTokens)
+		res.PromptTokens += resp.InputTokens
+		labels := prompt.ParseAnswersAny(resp.Completion, len(qs))
+		for i, qi := range batch {
+			res.Pred[qi] = labels[i]
+		}
+	}
+	return res, nil
+}
+
+// resolveParallel runs batch prompts through a bounded worker pool.
+// Results are merged deterministically: each worker owns disjoint
+// question indices and a private ledger, merged after the wait.
+func (f *Framework) resolveParallel(model llm.Model, batches Batches, sel selection, questions, pool []entity.Pair, res *Result) error {
+	type outcome struct {
+		bi      int
+		resp    llm.Response
+		trimmed int
+		err     error
+	}
+	jobs := make(chan int)
+	outcomes := make([]outcome, len(batches))
+	var wg sync.WaitGroup
+	for w := 0; w < f.cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range jobs {
+				demos := f.annotate(pool, sel.perBatch[bi])
+				qs := make([]entity.Pair, len(batches[bi]))
+				for i, qi := range batches[bi] {
+					qs[i] = questions[qi]
+				}
+				resp, trimmed, err := f.callWithTrim(model, demos, qs)
+				outcomes[bi] = outcome{bi: bi, resp: resp, trimmed: trimmed, err: err}
+			}
+		}()
+	}
+	for bi := range batches {
+		jobs <- bi
+	}
+	close(jobs)
+	wg.Wait()
+	for bi, out := range outcomes {
+		if out.err != nil {
+			return fmt.Errorf("core: batch %d: %w", bi, out.err)
+		}
+		res.TrimmedDemos += out.trimmed
+		res.Ledger.AddCall(model.Pricing, out.resp.InputTokens, out.resp.OutputTokens)
+		res.PromptTokens += out.resp.InputTokens
+		labels := prompt.ParseAnswersAny(out.resp.Completion, len(batches[bi]))
+		for i, qi := range batches[bi] {
+			res.Pred[qi] = labels[i]
+		}
+	}
+	return nil
+}
+
+// annotate reveals gold labels for the selected pool pairs, producing
+// prompt demonstrations.
+func (f *Framework) annotate(pool []entity.Pair, ids []int) []prompt.Demo {
+	demos := make([]prompt.Demo, 0, len(ids))
+	for _, di := range ids {
+		p := pool[di]
+		label := p.Truth
+		if label == entity.Unknown {
+			// An unannotatable pair (no gold label in the pool) defaults
+			// to non-match, the majority class.
+			label = entity.NonMatch
+		}
+		demos = append(demos, prompt.Demo{Pair: p, Label: label})
+	}
+	return demos
+}
+
+// callWithTrim sends the batch prompt, dropping demonstrations from the
+// tail until the prompt fits the model's context window. This is the
+// mitigation for the input-length overrun risk Section IV-C attributes to
+// topk-question selection. It returns the response and how many demos
+// were dropped.
+func (f *Framework) callWithTrim(model llm.Model, demos []prompt.Demo, qs []entity.Pair) (llm.Response, int, error) {
+	trimmed := 0
+	format := prompt.TextAnswers
+	if f.cfg.JSONAnswers {
+		format = prompt.JSONAnswers
+	}
+	for {
+		p := prompt.BuildWithFormat(f.cfg.TaskDescription, demos, qs, format)
+		resp, err := f.client.Complete(llm.Request{
+			Model:       model.Name,
+			Prompt:      p.Text,
+			Temperature: f.cfg.Temperature,
+		})
+		if err == nil {
+			return resp, trimmed, nil
+		}
+		if !errors.Is(err, llm.ErrContextLength) {
+			return llm.Response{}, trimmed, err
+		}
+		if len(demos) == 0 {
+			// Even the bare prompt is too long; split the batch in half
+			// and merge answers.
+			if len(qs) <= 1 {
+				return llm.Response{}, trimmed, err
+			}
+			mid := len(qs) / 2
+			left, tl, err := f.callWithTrim(model, nil, qs[:mid])
+			if err != nil {
+				return llm.Response{}, trimmed, err
+			}
+			right, tr, err := f.callWithTrim(model, nil, qs[mid:])
+			if err != nil {
+				return llm.Response{}, trimmed, err
+			}
+			merged := mergeResponses(left, right, mid, len(qs)-mid)
+			return merged, trimmed + tl + tr, nil
+		}
+		demos = demos[:len(demos)-1]
+		trimmed++
+	}
+}
+
+// mergeResponses renumbers and concatenates two split-batch completions so
+// answer parsing sees a single consistent numbering.
+func mergeResponses(left, right llm.Response, leftN, rightN int) llm.Response {
+	leftLabels := prompt.ParseAnswersAny(left.Completion, leftN)
+	rightLabels := prompt.ParseAnswersAny(right.Completion, rightN)
+	all := append(leftLabels, rightLabels...)
+	return llm.Response{
+		Completion:   prompt.FormatAnswers(all),
+		InputTokens:  left.InputTokens + right.InputTokens,
+		OutputTokens: left.OutputTokens + right.OutputTokens,
+	}
+}
+
+// checkPartition verifies the batching invariant: every question appears
+// in exactly one batch.
+func checkPartition(batches Batches, n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for _, b := range batches {
+		for _, qi := range b {
+			if qi < 0 || qi >= n {
+				return fmt.Errorf("core: batch references question %d outside [0,%d)", qi, n)
+			}
+			if seen[qi] {
+				return fmt.Errorf("core: question %d appears in two batches", qi)
+			}
+			seen[qi] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("core: batches cover %d of %d questions", total, n)
+	}
+	return nil
+}

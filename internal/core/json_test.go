@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"batcher/internal/entity"
+	"batcher/internal/metrics"
+)
+
+func TestResolveWithJSONAnswers(t *testing.T) {
+	questions, pool := testWorkload(t, "Beer", 40)
+	run := func(jsonMode bool) (*Result, metrics.Confusion) {
+		client := newSimClient(questions, pool, 5)
+		cfg := Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 5, JSONAnswers: jsonMode}
+		f := New(cfg, client)
+		res, err := f.Resolve(questions, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c metrics.Confusion
+		c.AddAll(entity.Labels(questions), res.Pred)
+		return res, c
+	}
+	resText, cText := run(false)
+	resJSON, cJSON := run(true)
+	// Both formats must answer everything and score comparably; JSON
+	// should never lose answers to parse failures.
+	for i, p := range resJSON.Pred {
+		if p == entity.Unknown {
+			t.Errorf("JSON mode left question %d unanswered", i)
+		}
+	}
+	if cJSON.F1() < cText.F1()-15 {
+		t.Errorf("JSON mode F1 %.1f far below text %.1f", cJSON.F1(), cText.F1())
+	}
+	if resJSON.Ledger.Calls() != resText.Ledger.Calls() {
+		t.Errorf("call counts differ: %d vs %d", resJSON.Ledger.Calls(), resText.Ledger.Calls())
+	}
+}

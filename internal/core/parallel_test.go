@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	questions, pool := testWorkload(t, "IA", 64)
+	run := func(parallelism int) *Result {
+		client := newSimClient(questions, pool, 9)
+		cfg := Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 9, Parallelism: parallelism}
+		f := New(cfg, client)
+		res, err := f.Resolve(questions, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(4)
+	// The simulator is deterministic per request, batching is seed-driven,
+	// and parallel workers own disjoint batches — so results must be
+	// byte-identical.
+	for i := range seq.Pred {
+		if seq.Pred[i] != par.Pred[i] {
+			t.Fatalf("prediction %d differs between sequential and parallel", i)
+		}
+	}
+	if seq.Ledger.API() != par.Ledger.API() {
+		t.Errorf("API cost differs: %v vs %v", seq.Ledger.API(), par.Ledger.API())
+	}
+	if seq.DemosLabeled != par.DemosLabeled {
+		t.Errorf("labels differ: %d vs %d", seq.DemosLabeled, par.DemosLabeled)
+	}
+}
+
+func TestParallelWithRaceDetector(t *testing.T) {
+	// Exercised under -race in CI; small workload, high parallelism.
+	questions, pool := testWorkload(t, "Beer", 48)
+	client := newSimClient(questions, pool, 2)
+	f := New(Config{Selection: FixedSelection, Seed: 2, Parallelism: 8}, client)
+	res, err := f.Resolve(questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered := 0
+	for _, p := range res.Pred {
+		if p != entity.Unknown {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Error("no answers under parallel execution")
+	}
+}
+
+func TestParallelDefaultsToSequential(t *testing.T) {
+	f := New(Config{}, llm.NewSimulated(nil, 1))
+	if f.Config().Parallelism != 1 {
+		t.Errorf("default parallelism = %d, want 1", f.Config().Parallelism)
+	}
+}

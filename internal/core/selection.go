@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/setcover"
+	"batcher/internal/tokens"
+)
+
+// selection is the result of demonstration selection: for each batch, the
+// pool indices of its demonstrations, plus the set of distinct pool
+// indices that had to be annotated.
+type selection struct {
+	perBatch [][]int
+	labeled  []int
+}
+
+// selectDemos runs the configured demonstration selection strategy
+// (Section IV) over the generated batches.
+func selectDemos(cfg Config, batches Batches, qVecs, dVecs []feature.Vector, pool []entity.Pair) selection {
+	switch cfg.Selection {
+	case FixedSelection:
+		return fixedSelection(cfg, batches, len(pool))
+	case TopKBatch:
+		return topKBatchSelection(cfg, batches, qVecs, dVecs)
+	case TopKQuestion:
+		return topKQuestionSelection(cfg, batches, qVecs, dVecs)
+	case CoveringSelection:
+		return coveringSelection(cfg, batches, qVecs, dVecs, pool)
+	case VoteKSelection:
+		return voteKSelection(cfg, batches, qVecs, dVecs)
+	default:
+		return fixedSelection(cfg, batches, len(pool))
+	}
+}
+
+// fixedSelection samples NumDemos pool indices once and shares them with
+// every batch (Section IV-A).
+func fixedSelection(cfg Config, batches Batches, poolSize int) selection {
+	rnd := rand.New(rand.NewSource(cfg.Seed + 1))
+	k := cfg.NumDemos
+	if k > poolSize {
+		k = poolSize
+	}
+	perm := rnd.Perm(poolSize)
+	shared := append([]int(nil), perm[:k]...)
+	sort.Ints(shared)
+	sel := selection{labeled: shared}
+	for range batches {
+		sel.perBatch = append(sel.perBatch, shared)
+	}
+	return sel
+}
+
+// topKBatchSelection picks the NumDemos pool entries nearest to each batch
+// under the batch-to-demo distance of Eq. (6):
+// dist*(B, d) = min over q in B of dist(q, d).
+func topKBatchSelection(cfg Config, batches Batches, qVecs, dVecs []feature.Vector) selection {
+	var sel selection
+	labeled := make(map[int]bool)
+	for _, batch := range batches {
+		type cand struct {
+			idx  int
+			dist float64
+		}
+		cands := make([]cand, len(dVecs))
+		for di, dv := range dVecs {
+			best := math.Inf(1)
+			for _, qi := range batch {
+				if d := cfg.Distance(qVecs[qi], dv); d < best {
+					best = d
+				}
+			}
+			cands[di] = cand{idx: di, dist: best}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		k := cfg.NumDemos
+		if k > len(cands) {
+			k = len(cands)
+		}
+		ids := make([]int, 0, k)
+		for _, c := range cands[:k] {
+			ids = append(ids, c.idx)
+			labeled[c.idx] = true
+		}
+		sel.perBatch = append(sel.perBatch, ids)
+	}
+	sel.labeled = sortedKeys(labeled)
+	return sel
+}
+
+// topKQuestionSelection picks, for every question in a batch, its k
+// nearest pool entries and uses the union (Section IV-C).
+func topKQuestionSelection(cfg Config, batches Batches, qVecs, dVecs []feature.Vector) selection {
+	k := cfg.questionK()
+	var sel selection
+	labeled := make(map[int]bool)
+	for _, batch := range batches {
+		chosen := make(map[int]bool)
+		for _, qi := range batch {
+			for _, di := range nearestK(cfg.Distance, qVecs[qi], dVecs, k) {
+				chosen[di] = true
+				labeled[di] = true
+			}
+		}
+		sel.perBatch = append(sel.perBatch, sortedKeys(chosen))
+	}
+	sel.labeled = sortedKeys(labeled)
+	return sel
+}
+
+// coveringSelection implements Section V: stage 1 selects a minimal
+// demonstration set covering all questions (unit weights), stage 2 covers
+// each batch from that set minimizing total token weight.
+func coveringSelection(cfg Config, batches Batches, qVecs, dVecs []feature.Vector, pool []entity.Pair) selection {
+	t := coverThreshold(cfg, qVecs)
+	// Stage 1: Demonstration Set Generation over the full question set.
+	ds := setcover.GreedyThreshold(len(dVecs), len(qVecs),
+		func(d, q int) float64 { return cfg.Distance(dVecs[d], qVecs[q]) }, t, nil)
+	// Token weights for stage 2: the price of including each selected
+	// demonstration in a prompt.
+	weights := make([]float64, len(ds))
+	for i, di := range ds {
+		weights[i] = float64(tokens.Count(pool[di].Serialize())) + 1
+	}
+	var sel selection
+	for _, batch := range batches {
+		picked := setcover.Greedy(setcover.Instance{
+			NumQuestions: len(batch),
+			NumDemos:     len(ds),
+			Covers: func(d, q int) bool {
+				return cfg.Distance(dVecs[ds[d]], qVecs[batch[q]]) < t
+			},
+			Weight: func(d int) float64 { return weights[d] },
+		})
+		ids := make([]int, 0, len(picked))
+		for _, pi := range picked {
+			ids = append(ids, ds[pi])
+		}
+		sort.Ints(ids)
+		sel.perBatch = append(sel.perBatch, ids)
+	}
+	sel.labeled = append([]int(nil), ds...)
+	sort.Ints(sel.labeled)
+	return sel
+}
+
+// coverThreshold computes the covering distance threshold t as the
+// configured percentile of sampled all-question pairwise distances
+// (Section VI-A: the 8th percentile balances labeling cost and accuracy).
+func coverThreshold(cfg Config, qVecs []feature.Vector) float64 {
+	sample := qVecs
+	if cfg.DistanceSampleCap > 0 && len(sample) > cfg.DistanceSampleCap {
+		rnd := rand.New(rand.NewSource(cfg.Seed + 2))
+		perm := rnd.Perm(len(qVecs))
+		sample = make([]feature.Vector, cfg.DistanceSampleCap)
+		for i := range sample {
+			sample[i] = qVecs[perm[i]]
+		}
+	}
+	var ds []float64
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			ds = append(ds, cfg.Distance(sample[i], sample[j]))
+		}
+	}
+	if len(ds) == 0 {
+		return 0.1
+	}
+	sort.Float64s(ds)
+	k := int(cfg.CoverPercentile * float64(len(ds)-1))
+	t := ds[k]
+	if t <= 0 {
+		// Duplicate-heavy geometry: fall back to the smallest positive
+		// distance so covering remains possible.
+		for _, d := range ds {
+			if d > 0 {
+				return d
+			}
+		}
+		return 0.1
+	}
+	return t
+}
+
+// nearestK returns the indices of the k nearest vectors in pool to q.
+func nearestK(dist feature.Distance, q feature.Vector, pool []feature.Vector, k int) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(pool))
+	for i, p := range pool {
+		cands[i] = cand{idx: i, dist: dist(q, p)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

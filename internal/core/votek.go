@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"batcher/internal/feature"
+)
+
+// VoteKSelection is an extension beyond the paper's Table I: selective
+// annotation in the style of vote-k (Su et al., ICLR 2023 — reference
+// [48] of the paper). Pool items vote for their neighbours in a kNN
+// graph; high-vote items are representative of dense regions, and a
+// diversity discount keeps the annotated set spread out. Each batch then
+// receives its nearest annotated demonstrations.
+//
+// Compared with covering-based selection it optimizes representativeness
+// of the *pool* rather than coverage of the *questions*, so it can be
+// computed before the question set is known — useful when annotation
+// happens ahead of time.
+const VoteKSelection SelectStrategy = 100
+
+// voteKSelection picks cfg.NumDemos*voteKBudgetFactor representative pool
+// items by graph voting, annotates them, and allocates the nearest
+// annotated demos to each batch.
+func voteKSelection(cfg Config, batches Batches, qVecs, dVecs []feature.Vector) selection {
+	budget := cfg.NumDemos * voteKBudgetFactor
+	if budget > len(dVecs) {
+		budget = len(dVecs)
+	}
+	annotated := voteK(cfg, dVecs, budget)
+	annVecs := make([]feature.Vector, len(annotated))
+	for i, di := range annotated {
+		annVecs[i] = dVecs[di]
+	}
+	var sel selection
+	sel.labeled = append([]int(nil), annotated...)
+	sort.Ints(sel.labeled)
+	perBatchK := cfg.NumDemos
+	for _, batch := range batches {
+		chosen := make(map[int]bool)
+		// Nearest annotated demo per question, then fill to the budget by
+		// batch distance.
+		for _, qi := range batch {
+			best, bestD := -1, math.Inf(1)
+			for ai, av := range annVecs {
+				if d := cfg.Distance(qVecs[qi], av); d < bestD {
+					best, bestD = ai, d
+				}
+			}
+			if best >= 0 {
+				chosen[annotated[best]] = true
+			}
+		}
+		if len(chosen) < perBatchK {
+			type cand struct {
+				idx  int
+				dist float64
+			}
+			var cands []cand
+			for ai, av := range annVecs {
+				if chosen[annotated[ai]] {
+					continue
+				}
+				best := math.Inf(1)
+				for _, qi := range batch {
+					if d := cfg.Distance(qVecs[qi], av); d < best {
+						best = d
+					}
+				}
+				cands = append(cands, cand{idx: annotated[ai], dist: best})
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].dist != cands[j].dist {
+					return cands[i].dist < cands[j].dist
+				}
+				return cands[i].idx < cands[j].idx
+			})
+			for _, c := range cands {
+				if len(chosen) >= perBatchK {
+					break
+				}
+				chosen[c.idx] = true
+			}
+		}
+		sel.perBatch = append(sel.perBatch, sortedKeys(chosen))
+	}
+	return sel
+}
+
+// voteKBudgetFactor scales the annotation budget relative to NumDemos.
+const voteKBudgetFactor = 3
+
+// voteKNeighbors is the kNN graph degree.
+const voteKNeighbors = 10
+
+// voteKPoolCap bounds the vote-k graph size: the kNN graph is O(n^2), so
+// larger pools are deterministically subsampled first. Representativeness
+// degrades gracefully — a uniform subsample preserves density structure.
+const voteKPoolCap = 1500
+
+// voteK returns `budget` representative, diverse pool indices.
+func voteK(cfg Config, dVecs []feature.Vector, budget int) []int {
+	if len(dVecs) > voteKPoolCap {
+		rnd := rand.New(rand.NewSource(cfg.Seed + 3))
+		perm := rnd.Perm(len(dVecs))[:voteKPoolCap]
+		sort.Ints(perm)
+		sub := make([]feature.Vector, len(perm))
+		for i, pi := range perm {
+			sub[i] = dVecs[pi]
+		}
+		picked := voteK(cfg, sub, budget)
+		out := make([]int, len(picked))
+		for i, pi := range picked {
+			out[i] = perm[pi]
+		}
+		return out
+	}
+	n := len(dVecs)
+	if n == 0 || budget <= 0 {
+		return nil
+	}
+	k := voteKNeighbors
+	if k >= n {
+		k = n - 1
+	}
+	// Votes: each item votes for its k nearest neighbours.
+	votes := make([]float64, n)
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		type nd struct {
+			j int
+			d float64
+		}
+		nds := make([]nd, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			nds = append(nds, nd{j: j, d: cfg.Distance(dVecs[i], dVecs[j])})
+		}
+		sort.Slice(nds, func(a, b int) bool {
+			if nds[a].d != nds[b].d {
+				return nds[a].d < nds[b].d
+			}
+			return nds[a].j < nds[b].j
+		})
+		for _, x := range nds[:k] {
+			votes[x.j]++
+			neighbors[i] = append(neighbors[i], x.j)
+		}
+	}
+	// Greedy pick with a decay discount: once an item is selected, votes
+	// coming from its graph neighbourhood count exponentially less,
+	// pushing later picks into unrepresented regions (the vote-k rule).
+	discount := make([]float64, n) // times item i's region was covered
+	selected := make([]bool, n)
+	var out []int
+	for len(out) < budget {
+		best, bestScore := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if selected[i] {
+				continue
+			}
+			score := votes[i] * math.Pow(10, -discount[i])
+			if score > bestScore || (score == bestScore && best >= 0 && i < best) {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected[best] = true
+		out = append(out, best)
+		for _, j := range neighbors[best] {
+			discount[j]++
+		}
+		discount[best] += 2
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package cost implements the paper's monetary cost model (Section VI-A):
+// per-token API pricing for proprietary LLMs and per-pair labeling cost via
+// crowdsourcing, plus a Ledger that accumulates both sides for an
+// experiment run.
+package cost
+
+import "fmt"
+
+// LabelPerPair is the paper's estimated cost of labeling one entity pair:
+// AMT tasks at $0.08 for a batch of ten pairs -> $0.008 per pair.
+const LabelPerPair = 0.008
+
+// Pricing describes a model's API price in dollars per 1000 tokens.
+type Pricing struct {
+	// InputPer1K is the price of 1000 prompt tokens.
+	InputPer1K float64
+	// OutputPer1K is the price of 1000 completion tokens.
+	OutputPer1K float64
+}
+
+// APICost returns the dollar cost of a call with the given token counts.
+func (p Pricing) APICost(inputTokens, outputTokens int) float64 {
+	return float64(inputTokens)/1000*p.InputPer1K + float64(outputTokens)/1000*p.OutputPer1K
+}
+
+// Ledger accumulates the monetary cost of an ER run: API charges per call
+// and labeling charges per annotated demonstration. The zero value is
+// ready to use. Ledger is not safe for concurrent use; callers running
+// parallel experiments keep one ledger per goroutine and merge.
+type Ledger struct {
+	inputTokens  int
+	outputTokens int
+	apiDollars   float64
+	calls        int
+	labeled      int
+}
+
+// AddCall records one LLM API call billed under pricing.
+func (l *Ledger) AddCall(p Pricing, inputTokens, outputTokens int) {
+	l.inputTokens += inputTokens
+	l.outputTokens += outputTokens
+	l.apiDollars += p.APICost(inputTokens, outputTokens)
+	l.calls++
+}
+
+// AddLabels records n manually annotated demonstration pairs.
+func (l *Ledger) AddLabels(n int) {
+	if n < 0 {
+		panic("cost: negative label count")
+	}
+	l.labeled += n
+}
+
+// Merge folds other into l.
+func (l *Ledger) Merge(other *Ledger) {
+	l.inputTokens += other.inputTokens
+	l.outputTokens += other.outputTokens
+	l.apiDollars += other.apiDollars
+	l.calls += other.calls
+	l.labeled += other.labeled
+}
+
+// API returns the accumulated API cost in dollars.
+func (l *Ledger) API() float64 { return l.apiDollars }
+
+// Labeling returns the accumulated labeling cost in dollars.
+func (l *Ledger) Labeling() float64 { return float64(l.labeled) * LabelPerPair }
+
+// Total returns API + labeling cost in dollars.
+func (l *Ledger) Total() float64 { return l.API() + l.Labeling() }
+
+// Calls returns the number of API calls recorded.
+func (l *Ledger) Calls() int { return l.calls }
+
+// InputTokens returns the total prompt tokens billed.
+func (l *Ledger) InputTokens() int { return l.inputTokens }
+
+// OutputTokens returns the total completion tokens billed.
+func (l *Ledger) OutputTokens() int { return l.outputTokens }
+
+// LabeledPairs returns the number of pairs annotated.
+func (l *Ledger) LabeledPairs() int { return l.labeled }
+
+// String summarizes the ledger for reports.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("api=$%.2f (%d calls, %d in / %d out tokens) label=$%.2f (%d pairs) total=$%.2f",
+		l.API(), l.calls, l.inputTokens, l.outputTokens, l.Labeling(), l.labeled, l.Total())
+}

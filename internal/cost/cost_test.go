@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPricingAPICost(t *testing.T) {
+	p := Pricing{InputPer1K: 0.01, OutputPer1K: 0.03}
+	got := p.APICost(1000, 0)
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("1000 input tokens = $%v, want $0.01", got)
+	}
+	got = p.APICost(500, 1000)
+	if math.Abs(got-0.035) > 1e-12 {
+		t.Errorf("mixed = $%v, want $0.035", got)
+	}
+	if p.APICost(0, 0) != 0 {
+		t.Error("zero tokens should cost zero")
+	}
+}
+
+func TestPaperGPT4Estimate(t *testing.T) {
+	// Paper intro: 500,000 predictions x 90 tokens x 4 (3 demos + 1
+	// question) at $0.01/1K = $1,800.
+	p := Pricing{InputPer1K: 0.01}
+	total := p.APICost(500_000*90*4, 0)
+	if math.Abs(total-1800) > 1e-6 {
+		t.Errorf("paper estimate = $%v, want $1800", total)
+	}
+}
+
+func TestLedgerAccumulates(t *testing.T) {
+	var l Ledger
+	p := Pricing{InputPer1K: 0.001}
+	l.AddCall(p, 1000, 100)
+	l.AddCall(p, 2000, 200)
+	if l.Calls() != 2 {
+		t.Errorf("Calls = %d", l.Calls())
+	}
+	if l.InputTokens() != 3000 || l.OutputTokens() != 300 {
+		t.Errorf("tokens = %d/%d", l.InputTokens(), l.OutputTokens())
+	}
+	if math.Abs(l.API()-0.003) > 1e-12 {
+		t.Errorf("API = %v", l.API())
+	}
+}
+
+func TestLedgerLabeling(t *testing.T) {
+	var l Ledger
+	l.AddLabels(10)
+	if math.Abs(l.Labeling()-0.08) > 1e-12 {
+		t.Errorf("10 labels = $%v, want $0.08 (paper AMT rate)", l.Labeling())
+	}
+	if l.LabeledPairs() != 10 {
+		t.Errorf("LabeledPairs = %d", l.LabeledPairs())
+	}
+}
+
+func TestLedgerNegativeLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddLabels(-1) did not panic")
+		}
+	}()
+	var l Ledger
+	l.AddLabels(-1)
+}
+
+func TestLedgerTotalAndMerge(t *testing.T) {
+	var a, b Ledger
+	p := Pricing{InputPer1K: 0.01}
+	a.AddCall(p, 1000, 0)
+	a.AddLabels(5)
+	b.AddCall(p, 3000, 0)
+	b.AddLabels(10)
+	a.Merge(&b)
+	if a.Calls() != 2 || a.LabeledPairs() != 15 {
+		t.Errorf("merged ledger = %+v", a)
+	}
+	want := 0.04 + 15*LabelPerPair
+	if math.Abs(a.Total()-want) > 1e-12 {
+		t.Errorf("Total = %v, want %v", a.Total(), want)
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	var l Ledger
+	l.AddCall(Pricing{InputPer1K: 1}, 1000, 0)
+	l.AddLabels(1)
+	s := l.String()
+	for _, want := range []string{"api=$1.00", "1 calls", "label=$0.01", "total=$1.01"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLedgerMonotone(t *testing.T) {
+	f := func(in, out uint16, labels uint8) bool {
+		var l Ledger
+		p := Pricing{InputPer1K: 0.01, OutputPer1K: 0.02}
+		before := l.Total()
+		l.AddCall(p, int(in), int(out))
+		l.AddLabels(int(labels))
+		return l.Total() >= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Perturbations model the real-world noise that makes two descriptions of
+// the same entity differ across sources: typos, dropped or reordered
+// tokens, abbreviations, case and format changes, extra boilerplate, and
+// missing values. A perturbation profile is a weighted recipe of such
+// edits; each dataset mixes several profiles, which is what gives its
+// pair-feature space the clustered structure question batching exploits.
+
+// profile names one perturbation recipe.
+type profile int
+
+const (
+	profileLight   profile = iota // near-identical copies
+	profileTypos                  // character noise
+	profileDrop                   // token loss and truncation
+	profileAbbrev                 // abbreviations and reorder
+	profileMissing                // whole attribute values missing
+	profileBoiler                 // added boilerplate / format changes
+	numProfiles
+)
+
+// perturber applies profile-driven string edits with a given strength.
+type perturber struct {
+	rnd      *rand.Rand
+	strength float64 // 0 (no edits) .. 1 (heavy edits)
+}
+
+// apply perturbs one attribute value under the profile.
+func (pt *perturber) apply(p profile, value string) string {
+	if value == "" {
+		return value
+	}
+	s := pt.strength
+	switch p {
+	case profileLight:
+		if pt.rnd.Float64() < 0.25*s {
+			value = pt.typo(value)
+		}
+	case profileTypos:
+		n := 1 + int(s*2.5)
+		for i := 0; i < n; i++ {
+			if pt.rnd.Float64() < 0.8 {
+				value = pt.typo(value)
+			}
+		}
+	case profileDrop:
+		value = pt.dropTokens(value, 0.2+0.4*s)
+	case profileAbbrev:
+		value = pt.abbreviate(value)
+		if pt.rnd.Float64() < 0.5*s {
+			value = pt.reorder(value)
+		}
+	case profileMissing:
+		// Handled at the record level (the whole value vanishes); at the
+		// string level apply light noise.
+		if pt.rnd.Float64() < 0.3*s {
+			value = pt.typo(value)
+		}
+	case profileBoiler:
+		value = pt.boilerplate(value)
+	}
+	return value
+}
+
+// typo applies one random character edit.
+func (pt *perturber) typo(s string) string {
+	rs := []rune(s)
+	if len(rs) < 2 {
+		return s
+	}
+	i := pt.rnd.Intn(len(rs) - 1)
+	switch pt.rnd.Intn(3) {
+	case 0: // transpose
+		rs[i], rs[i+1] = rs[i+1], rs[i]
+	case 1: // drop
+		rs = append(rs[:i], rs[i+1:]...)
+	default: // duplicate
+		rs = append(rs[:i+1], rs[i:]...)
+	}
+	return string(rs)
+}
+
+// dropTokens removes roughly frac of the tokens (never all of them).
+func (pt *perturber) dropTokens(s string, frac float64) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	var kept []string
+	for _, t := range toks {
+		if pt.rnd.Float64() < frac {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) == 0 {
+		kept = toks[:1]
+	}
+	return strings.Join(kept, " ")
+}
+
+// abbreviate shortens long tokens to leading fragments.
+func (pt *perturber) abbreviate(s string) string {
+	toks := strings.Fields(s)
+	for i, t := range toks {
+		if len(t) > 5 && pt.rnd.Float64() < 0.5 {
+			cut := 3 + pt.rnd.Intn(2)
+			toks[i] = t[:cut] + "."
+		}
+	}
+	return strings.Join(toks, " ")
+}
+
+// reorder swaps two random tokens.
+func (pt *perturber) reorder(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	i := pt.rnd.Intn(len(toks) - 1)
+	toks[i], toks[i+1] = toks[i+1], toks[i]
+	return strings.Join(toks, " ")
+}
+
+// boilerplate appends or prepends catalog noise.
+func (pt *perturber) boilerplate(s string) string {
+	extras := []string{"[new]", "(oem)", "- retail", "w/ warranty", "(pack of 1)", "[import]", "ltd edition"}
+	e := extras[pt.rnd.Intn(len(extras))]
+	if pt.rnd.Float64() < 0.5 {
+		return s + " " + e
+	}
+	return e + " " + s
+}
+
+// perturbPrice reformats or slightly shifts a price string.
+func (pt *perturber) perturbPrice(price string) string {
+	if price == "" {
+		return price
+	}
+	switch pt.rnd.Intn(4) {
+	case 0:
+		return "$" + price
+	case 1:
+		return price + "0"
+	case 2:
+		if pt.rnd.Float64() < pt.strength {
+			return "" // price missing in one source
+		}
+		return price
+	default:
+		return price
+	}
+}
+
+// pickProfile samples a perturbation profile from the mixture weights.
+func pickProfile(rnd *rand.Rand, weights []float64) profile {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	r := rnd.Float64() * sum
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r <= acc {
+			return profile(i)
+		}
+	}
+	return profileLight
+}
+
+// numericNear returns a value string near n, formatted differently, for
+// hard-negative generation (e.g. adjacent model numbers).
+func numericNear(rnd *rand.Rand, n int) string {
+	delta := 1 + rnd.Intn(3)
+	if rnd.Intn(2) == 0 {
+		delta = -delta
+	}
+	v := n + delta
+	if v < 0 {
+		v = n + 1
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,177 @@
+package datagen
+
+// Domain vocabularies for the synthetic benchmark clones. Lists are long
+// enough that sampled entities rarely collide by accident; collisions that
+// do occur are filtered during generation.
+
+var electronicsBrands = []string{
+	"samsung", "sony", "panasonic", "toshiba", "canon", "nikon", "hp",
+	"dell", "lenovo", "asus", "acer", "lg", "philips", "sharp", "jvc",
+	"sandisk", "kingston", "logitech", "belkin", "netgear", "linksys",
+	"garmin", "tomtom", "olympus", "fujifilm", "kodak", "vizio", "epson",
+	"brother", "xerox", "seagate", "westerndigital", "corsair", "msi",
+}
+
+var electronicsTypes = []string{
+	"lcd tv", "led monitor", "digital camera", "camcorder", "laptop",
+	"notebook", "tablet", "printer", "scanner", "router", "modem",
+	"keyboard", "mouse", "speaker", "headphones", "earbuds", "soundbar",
+	"projector", "hard drive", "flash drive", "memory card", "gps unit",
+	"dvd player", "blu-ray player", "receiver", "subwoofer", "webcam",
+	"microphone", "charger", "docking station", "adapter", "power supply",
+}
+
+var electronicsQualifiers = []string{
+	"black", "white", "silver", "refurbished", "wireless", "portable",
+	"compact", "professional", "gaming", "ultra", "slim", "hd", "4k",
+	"bluetooth", "usb", "hdmi", "dual band", "high speed", "energy star",
+}
+
+var productCategories = []string{
+	"electronics", "computers", "accessories", "audio", "video",
+	"photography", "networking", "storage", "printers", "displays",
+	"peripherals", "components", "office", "home theater",
+}
+
+var softwareTitles = []string{
+	"antivirus suite", "photo editor", "tax preparer", "office suite",
+	"video editor", "backup utility", "firewall pro", "language course",
+	"typing tutor", "encyclopedia", "music studio", "web designer",
+	"pdf converter", "disk doctor", "registry cleaner", "password vault",
+	"accounting pro", "project planner", "cad designer", "database manager",
+	"mail server", "site builder", "drive cloner", "system optimizer",
+	"speech recognizer", "screen recorder", "media converter", "dvd burner",
+}
+
+var softwareManufacturers = []string{
+	"microsoft", "adobe", "symantec", "intuit", "corel", "mcafee",
+	"broderbund", "encore", "nova development", "individual software",
+	"topics entertainment", "global marketing", "avanquest", "punch",
+	"riverdeep", "valusoft", "cosmi", "activision", "aspyr", "eidos",
+}
+
+var softwareEditions = []string{
+	"standard", "deluxe", "professional", "premium", "home", "ultimate",
+	"basic", "platinum", "gold", "academic", "upgrade", "full version",
+}
+
+var paperTitleWords = []string{
+	"efficient", "scalable", "adaptive", "distributed", "parallel",
+	"incremental", "approximate", "robust", "dynamic", "optimal",
+	"query", "processing", "indexing", "mining", "clustering",
+	"classification", "learning", "optimization", "estimation",
+	"integration", "resolution", "matching", "retrieval", "ranking",
+	"streams", "graphs", "databases", "warehouses", "transactions",
+	"joins", "aggregation", "sampling", "compression", "caching",
+	"views", "schemas", "ontologies", "semantics", "provenance",
+	"privacy", "security", "workflows", "networks", "systems",
+}
+
+var authorFirst = []string{
+	"john", "david", "michael", "james", "robert", "wei", "li", "jian",
+	"yan", "hong", "maria", "anna", "peter", "thomas", "richard",
+	"susan", "linda", "carol", "elena", "rakesh", "divesh", "surajit",
+	"hector", "jeffrey", "jennifer", "christos", "michalis", "timos",
+	"gerhard", "hans", "joseph", "daniel", "kevin", "laura", "amit",
+}
+
+var authorLast = []string{
+	"smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+	"garcia", "chen", "wang", "zhang", "liu", "yang", "huang", "wu",
+	"agrawal", "srivastava", "chaudhuri", "garcia-molina", "ullman",
+	"widom", "faloutsos", "vazirgiannis", "sellis", "weikum", "gray",
+	"dewitt", "stonebraker", "bernstein", "abiteboul", "buneman",
+	"halevy", "doan", "naughton", "ramakrishnan", "carey", "franklin",
+}
+
+var venuesDBLP = []string{
+	"sigmod conference", "vldb", "icde", "kdd", "edbt", "icdt", "cikm",
+	"sigir", "www", "pods", "sigmod record", "vldb journal",
+	"ieee trans knowl data eng", "acm trans database syst",
+	"information systems", "data knowl eng", "sigkdd explorations",
+}
+
+var restaurantNames1 = []string{
+	"golden", "silver", "blue", "red", "royal", "grand", "little",
+	"happy", "lucky", "old", "new", "west", "east", "union", "garden",
+	"ocean", "harbor", "sunset", "village", "corner", "uptown", "metro",
+}
+
+var restaurantNames2 = []string{
+	"dragon", "palace", "bistro", "grill", "kitchen", "cafe", "diner",
+	"tavern", "house", "room", "table", "oven", "spoon", "fork",
+	"pepper", "olive", "basil", "lotus", "bamboo", "rose", "star",
+}
+
+var streetNames = []string{
+	"main st", "broadway", "market st", "sunset blvd", "wilshire blvd",
+	"melrose ave", "ocean ave", "park ave", "fifth ave", "lexington ave",
+	"madison ave", "canal st", "spring st", "hill st", "grand ave",
+	"union sq", "columbus ave", "mission st", "valencia st", "castro st",
+}
+
+var cities = []string{
+	"new york", "los angeles", "san francisco", "chicago", "atlanta",
+	"boston", "seattle", "denver", "austin", "portland", "miami",
+	"philadelphia", "phoenix", "dallas", "houston", "san diego",
+}
+
+var cuisines = []string{
+	"italian", "french", "chinese", "japanese", "thai", "mexican",
+	"indian", "american", "mediterranean", "seafood", "steakhouse",
+	"vegetarian", "bbq", "cajun", "greek", "vietnamese", "korean",
+}
+
+var songWords = []string{
+	"love", "night", "heart", "fire", "dream", "dance", "light", "rain",
+	"summer", "winter", "home", "road", "river", "sky", "moon", "sun",
+	"stars", "ghost", "shadow", "echo", "golden", "broken", "wild",
+	"young", "forever", "tonight", "yesterday", "morning", "midnight",
+	"paradise", "heaven", "angel", "devil", "thunder", "lightning",
+}
+
+var artistFirst = []string{
+	"dj", "lil", "big", "young", "the", "mc", "saint", "king", "queen",
+}
+
+var artistLast = []string{
+	"rivers", "stone", "blaze", "nova", "storm", "reyes", "carter",
+	"monroe", "hayes", "brooks", "bennett", "parker", "sullivan",
+	"mercury", "knight", "fox", "wolfe", "sparrow", "lane", "cross",
+}
+
+var genres = []string{
+	"pop", "rock", "hip-hop", "rap", "country", "jazz", "blues",
+	"electronic", "dance", "r&b", "soul", "folk", "indie", "metal",
+	"classical", "reggae", "latin", "alternative",
+}
+
+var musicLabels = []string{
+	"universal music", "sony music", "warner records", "atlantic",
+	"columbia", "capitol records", "def jam", "interscope", "rca",
+	"island records", "motown", "epic records", "republic records",
+}
+
+var breweryWords1 = []string{
+	"rocky", "stone", "iron", "copper", "golden", "black", "white",
+	"river", "mountain", "valley", "harbor", "lakefront", "highland",
+	"prairie", "redwood", "cascade", "granite", "summit", "pioneer",
+}
+
+var breweryWords2 = []string{
+	"brewing company", "brewery", "brewing co", "craft brewers",
+	"beer works", "ale works", "brewhouse", "fermentations",
+}
+
+var beerWords = []string{
+	"hoppy", "amber", "golden", "dark", "imperial", "double", "session",
+	"belgian", "farmhouse", "smoked", "barrel aged", "dry hopped",
+	"hazy", "juicy", "crisp", "roasty", "vintage", "winter", "summer",
+}
+
+var beerStyles = []string{
+	"american ipa", "imperial stout", "pale ale", "pilsner", "porter",
+	"saison", "hefeweizen", "amber ale", "brown ale", "lager",
+	"wheat beer", "sour ale", "barleywine", "kolsch", "dubbel",
+	"tripel", "witbier", "oatmeal stout", "red ale", "cream ale",
+}

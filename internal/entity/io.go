@@ -1,0 +1,164 @@
+package entity
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonRecord is the wire form of a Record.
+type jsonRecord struct {
+	ID     string   `json:"id"`
+	Attrs  []string `json:"attrs"`
+	Values []string `json:"values"`
+}
+
+// jsonPair is the wire form of a Pair. Records are stored by ID with the
+// tables carried alongside, keeping dataset files compact.
+type jsonPair struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Truth int8   `json:"truth"`
+}
+
+// jsonDataset is the wire form of a Dataset.
+type jsonDataset struct {
+	Name   string       `json:"name"`
+	Domain string       `json:"domain"`
+	TableA []jsonRecord `json:"table_a"`
+	TableB []jsonRecord `json:"table_b"`
+	Pairs  []jsonPair   `json:"pairs"`
+}
+
+// WriteJSON serializes the dataset as a single JSON document.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	out := jsonDataset{Name: d.Name, Domain: d.Domain}
+	for _, r := range d.TableA {
+		out.TableA = append(out.TableA, jsonRecord{ID: r.ID, Attrs: r.Attrs, Values: r.Values})
+	}
+	for _, r := range d.TableB {
+		out.TableB = append(out.TableB, jsonRecord{ID: r.ID, Attrs: r.Attrs, Values: r.Values})
+	}
+	for _, p := range d.Pairs {
+		out.Pairs = append(out.Pairs, jsonPair{A: p.A.ID, B: p.B.ID, Truth: int8(p.Truth)})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("entity: encode dataset: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a dataset written by WriteJSON, resolving pair record
+// references against the embedded tables.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("entity: decode dataset: %w", err)
+	}
+	d := &Dataset{Name: in.Name, Domain: in.Domain}
+	index := make(map[string]Record, len(in.TableA)+len(in.TableB))
+	for _, jr := range in.TableA {
+		if len(jr.Attrs) != len(jr.Values) {
+			return nil, fmt.Errorf("entity: record %q attr/value mismatch", jr.ID)
+		}
+		rec := Record{ID: jr.ID, Attrs: jr.Attrs, Values: jr.Values}
+		d.TableA = append(d.TableA, rec)
+		index[jr.ID] = rec
+	}
+	for _, jr := range in.TableB {
+		if len(jr.Attrs) != len(jr.Values) {
+			return nil, fmt.Errorf("entity: record %q attr/value mismatch", jr.ID)
+		}
+		rec := Record{ID: jr.ID, Attrs: jr.Attrs, Values: jr.Values}
+		d.TableB = append(d.TableB, rec)
+		index[jr.ID] = rec
+	}
+	for _, jp := range in.Pairs {
+		a, ok := index[jp.A]
+		if !ok {
+			return nil, fmt.Errorf("entity: pair references unknown record %q", jp.A)
+		}
+		b, ok := index[jp.B]
+		if !ok {
+			return nil, fmt.Errorf("entity: pair references unknown record %q", jp.B)
+		}
+		d.Pairs = append(d.Pairs, Pair{A: a, B: b, Truth: Label(jp.Truth)})
+	}
+	return d, nil
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("entity: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a dataset from a file.
+func LoadJSON(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("entity: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// Stats summarizes a dataset for reports and sanity checks.
+type Stats struct {
+	Name         string
+	Domain       string
+	NumAttrs     int
+	NumPairs     int
+	NumMatches   int
+	MatchRate    float64
+	MeanValueLen float64
+	EmptyValues  float64 // fraction of empty attribute values across pairs
+}
+
+// ComputeStats derives summary statistics.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{
+		Name:       d.Name,
+		Domain:     d.Domain,
+		NumAttrs:   d.NumAttrs(),
+		NumPairs:   len(d.Pairs),
+		NumMatches: d.Matches(),
+	}
+	if s.NumPairs > 0 {
+		s.MatchRate = float64(s.NumMatches) / float64(s.NumPairs)
+	}
+	var totalLen, totalVals, empty int
+	for _, p := range d.Pairs {
+		for _, r := range []Record{p.A, p.B} {
+			for _, v := range r.Values {
+				totalVals++
+				totalLen += len(v)
+				if v == "" {
+					empty++
+				}
+			}
+		}
+	}
+	if totalVals > 0 {
+		s.MeanValueLen = float64(totalLen) / float64(totalVals)
+		s.EmptyValues = float64(empty) / float64(totalVals)
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s (%s): %d attrs, %d pairs, %d matches (%.1f%%), mean value %.1f chars, %.1f%% empty",
+		s.Name, s.Domain, s.NumAttrs, s.NumPairs, s.NumMatches, 100*s.MatchRate, s.MeanValueLen, 100*s.EmptyValues)
+}

@@ -1,0 +1,115 @@
+package entity
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() *Dataset {
+	a1 := rec("a1", "title", "alpha, beta", "price", "9.99")
+	a2 := rec("a2", "title", "gamma \"quoted\"", "price", "")
+	b1 := rec("b1", "title", "alpha beta", "price", "9.99")
+	b2 := rec("b2", "title", "delta", "price", "1")
+	return &Dataset{
+		Name:   "T",
+		Domain: "Test",
+		TableA: []Record{a1, a2},
+		TableB: []Record{b1, b2},
+		Pairs: []Pair{
+			{A: a1, B: b1, Truth: Match},
+			{A: a2, B: b2, Truth: NonMatch},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "T" || got.Domain != "Test" {
+		t.Errorf("metadata = %s/%s", got.Name, got.Domain)
+	}
+	if len(got.TableA) != 2 || len(got.TableB) != 2 || len(got.Pairs) != 2 {
+		t.Fatalf("sizes = %d/%d/%d", len(got.TableA), len(got.TableB), len(got.Pairs))
+	}
+	if got.Pairs[0].Truth != Match || got.Pairs[1].Truth != NonMatch {
+		t.Error("labels lost")
+	}
+	v, _ := got.Pairs[0].A.Get("title")
+	if v != "alpha, beta" {
+		t.Errorf("value round trip = %q", v)
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := d.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matches() != 1 {
+		t.Errorf("Matches = %d", got.Matches())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{oops")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Pair referencing an unknown record.
+	bad := `{"name":"X","table_a":[],"table_b":[],"pairs":[{"a":"ghost","b":"ghost2","truth":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("dangling pair reference accepted")
+	}
+	// Attr/value length mismatch.
+	bad2 := `{"name":"X","table_a":[{"id":"a","attrs":["x","y"],"values":["1"]}],"table_b":[],"pairs":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Error("attr/value mismatch accepted")
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := sampleDataset()
+	s := d.ComputeStats()
+	if s.NumPairs != 2 || s.NumMatches != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MatchRate != 0.5 {
+		t.Errorf("MatchRate = %v", s.MatchRate)
+	}
+	if s.EmptyValues <= 0 {
+		t.Error("empty-value fraction should be positive (a2 has empty price)")
+	}
+	if s.MeanValueLen <= 0 {
+		t.Error("mean value length missing")
+	}
+	if !strings.Contains(s.String(), "Test") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestComputeStatsEmptyDataset(t *testing.T) {
+	d := &Dataset{Name: "E"}
+	s := d.ComputeStats()
+	if s.MatchRate != 0 || s.MeanValueLen != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"io"
+	"strconv"
+
+	"batcher/internal/feature"
+)
+
+// AblationPoint is one setting of an ablation sweep.
+type AblationPoint struct {
+	// Setting describes the swept value ("t=8th pct", "b=16", ...).
+	Setting string
+	F1      float64
+	API     float64
+	Label   float64
+	Labels  int
+}
+
+// AblationResult is one dataset's sweep.
+type AblationResult struct {
+	Dataset string
+	Name    string
+	Points  []AblationPoint
+}
+
+// RunAblationCoverThreshold sweeps the covering-threshold percentile.
+// The paper fixes the 8th percentile after observing exactly this
+// trade-off: a smaller t forces more demonstrations (labeling cost up),
+// a larger t lets distant demonstrations "cover" questions they do not
+// actually help (accuracy down).
+func RunAblationCoverThreshold(o Options, percentiles []float64) ([]AblationResult, error) {
+	o = o.withDefaults()
+	if len(percentiles) == 0 {
+		percentiles = []float64{0.02, 0.05, 0.08, 0.15, 0.3}
+	}
+	var out []AblationResult
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationResult{Dataset: name, Name: "cover-threshold"}
+		for _, p := range percentiles {
+			cfg := defaultBest()
+			cfg.CoverPercentile = p
+			c, r, err := runFramework(w, cfg, o.Seeds[0])
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Setting: pctName(p),
+				F1:      c.F1(),
+				API:     r.Ledger.API(),
+				Label:   r.Ledger.Labeling(),
+				Labels:  r.DemosLabeled,
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func pctName(p float64) string {
+	switch {
+	case p < 0.03:
+		return "t=2nd pct"
+	case p < 0.06:
+		return "t=5th pct"
+	case p < 0.1:
+		return "t=8th pct"
+	case p < 0.2:
+		return "t=15th pct"
+	default:
+		return "t=30th pct"
+	}
+}
+
+// RunAblationBatchSize sweeps the batch size. The paper fixes 8 so no
+// design point exceeds the context window; larger batches amortize more
+// tokens but risk overruns and answer-alignment slips.
+func RunAblationBatchSize(o Options, sizes []int) ([]AblationResult, error) {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 4, 8, 16}
+	}
+	var out []AblationResult
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationResult{Dataset: name, Name: "batch-size"}
+		for _, b := range sizes {
+			cfg := defaultBest()
+			cfg.BatchSize = b
+			c, r, err := runFramework(w, cfg, o.Seeds[0])
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Setting: "b=" + strconv.Itoa(b),
+				F1:      c.F1(),
+				API:     r.Ledger.API(),
+				Label:   r.Ledger.Labeling(),
+				Labels:  r.DemosLabeled,
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunAblationDistance compares Euclidean (the paper's choice) against
+// cosine distance for clustering and selection.
+func RunAblationDistance(o Options) ([]AblationResult, error) {
+	o = o.withDefaults()
+	var out []AblationResult
+	dists := []struct {
+		name string
+		fn   feature.Distance
+	}{
+		{"euclidean", feature.Euclidean},
+		{"cosine", feature.CosineDistance},
+	}
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationResult{Dataset: name, Name: "distance"}
+		for _, d := range dists {
+			cfg := defaultBest()
+			cfg.Distance = d.fn
+			c, r, err := runFramework(w, cfg, o.Seeds[0])
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Setting: d.name,
+				F1:      c.F1(),
+				API:     r.Ledger.API(),
+				Label:   r.Ledger.Labeling(),
+				Labels:  r.DemosLabeled,
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunAblationParallelism verifies that parallel batch dispatch is
+// result-identical to sequential dispatch while exercising the pool.
+func RunAblationParallelism(o Options) ([]AblationResult, error) {
+	o = o.withDefaults()
+	var out []AblationResult
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationResult{Dataset: name, Name: "parallelism"}
+		for _, par := range []int{1, 4} {
+			cfg := defaultBest()
+			cfg.Parallelism = par
+			c, r, err := runFramework(w, cfg, o.Seeds[0])
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Setting: "p=" + strconv.Itoa(par),
+				F1:      c.F1(),
+				API:     r.Ledger.API(),
+				Label:   r.Ledger.Labeling(),
+				Labels:  r.DemosLabeled,
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatAblations renders ablation sweeps.
+func FormatAblations(w io.Writer, results []AblationResult) {
+	for _, r := range results {
+		fprintf(w, "Ablation %s on %s:\n", r.Name, r.Dataset)
+		for _, p := range r.Points {
+			fprintf(w, "  %-12s F1 %6.2f  api $%.3f  label $%.3f (%d labels)\n",
+				p.Setting, p.F1, p.API, p.Label, p.Labels)
+		}
+	}
+}

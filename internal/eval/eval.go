@@ -1,0 +1,112 @@
+// Package eval reproduces the paper's experiments: one runner per table
+// and figure of Section VI, each returning structured results plus a text
+// rendering that mirrors the paper's layout. The root-level bench harness
+// and cmd/erbench are thin wrappers over these runners.
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"batcher/internal/core"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+	"batcher/internal/metrics"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Datasets is the subset of benchmark codes to run; nil means all
+	// eight Table II datasets.
+	Datasets []string
+	// Seeds are the run seeds; the paper averages three runs.
+	Seeds []int64
+	// QuestionCap truncates each dataset's test questions (0 = all).
+	// Benches use small caps; cmd/erbench runs the full sets.
+	QuestionCap int
+	// PoolCap truncates the demonstration pool (0 = all).
+	PoolCap int
+	// DataSeed seeds the synthetic benchmark generator.
+	DataSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Datasets) == 0 {
+		o.Datasets = datagen.Names()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2, 3}
+	}
+	if o.DataSeed == 0 {
+		o.DataSeed = 1
+	}
+	return o
+}
+
+// workload is a prepared dataset slice: questions with gold labels, the
+// unlabeled demonstration pool (with hidden labels for annotation), and
+// the oracle the simulated LLM answers from.
+type workload struct {
+	name      string
+	questions []entity.Pair
+	pool      []entity.Pair
+	train     []entity.Pair // labeled train split, for PLM baselines
+	oracle    llm.MapOracle
+}
+
+// loadWorkload prepares one dataset under the options.
+func loadWorkload(name string, o Options) (*workload, error) {
+	d, err := datagen.GenerateByName(name, o.DataSeed)
+	if err != nil {
+		return nil, err
+	}
+	split := entity.SplitPairs(d.Pairs)
+	questions := split.Test
+	if o.QuestionCap > 0 && len(questions) > o.QuestionCap {
+		questions = questions[:o.QuestionCap]
+	}
+	pool := split.Train
+	if o.PoolCap > 0 && len(pool) > o.PoolCap {
+		pool = pool[:o.PoolCap]
+	}
+	all := make([]entity.Pair, 0, len(questions)+len(pool))
+	all = append(all, questions...)
+	all = append(all, pool...)
+	return &workload{
+		name:      name,
+		questions: questions,
+		pool:      pool,
+		train:     split.Train,
+		oracle:    llm.BuildOracle(all),
+	}, nil
+}
+
+// runFramework executes one framework configuration over a workload with
+// one seed and scores it.
+func runFramework(w *workload, cfg core.Config, seed int64) (metrics.Confusion, *core.Result, error) {
+	cfg.Seed = seed
+	client := llm.NewSimulated(w.oracle, seed)
+	f := core.New(cfg, client)
+	res, err := f.Resolve(w.questions, w.pool)
+	if err != nil {
+		return metrics.Confusion{}, nil, fmt.Errorf("eval: %s: %w", w.name, err)
+	}
+	var c metrics.Confusion
+	c.AddAll(entity.Labels(w.questions), res.Pred)
+	return c, res, nil
+}
+
+// defaultBest returns the paper's best design point: diversity batching +
+// covering selection.
+func defaultBest() core.Config {
+	return core.Config{
+		Batching:  core.DiversityBatching,
+		Selection: core.CoveringSelection,
+	}
+}
+
+// fprintf writes formatted output, ignoring errors (report rendering).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExtendedSelection(t *testing.T) {
+	o := Options{Datasets: []string{"IA"}, Seeds: []int64{1}, QuestionCap: 64, PoolCap: 200}
+	rows, err := RunExtendedSelection(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.CoverF1 <= 0 || r.VoteKF1 <= 0 {
+		t.Errorf("F1s = %.1f / %.1f", r.CoverF1, r.VoteKF1)
+	}
+	if r.CoverLabels <= 0 || r.VoteKLabels <= 0 {
+		t.Errorf("labels = %d / %d", r.CoverLabels, r.VoteKLabels)
+	}
+	// Vote-k selects without seeing questions; it should not beat
+	// covering by a wide margin.
+	if r.VoteKF1 > r.CoverF1+20 {
+		t.Errorf("vote-k (%.1f) implausibly far above covering (%.1f)", r.VoteKF1, r.CoverF1)
+	}
+	var sb strings.Builder
+	FormatExtendedSelection(&sb, rows)
+	if !strings.Contains(sb.String(), "vote-k") {
+		t.Errorf("output = %q", sb.String())
+	}
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"batcher/internal/core"
+)
+
+// Report emitters: the same experiment results the Format* functions
+// print as fixed-width text can be exported as CSV (for plotting) or
+// Markdown (for docs like EXPERIMENTS.md).
+
+// WriteTable3CSV exports Table III rows.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "std_f1_mean", "std_f1_std", "batch_f1_mean", "batch_f1_std", "std_api_usd", "batch_api_usd"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset,
+			f(r.StandardF1.Mean), f(r.StandardF1.Std),
+			f(r.BatchF1.Mean), f(r.BatchF1.Std),
+			f(r.StandardAPI), f(r.BatchAPI),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4CSV exports the full design-space grid in long form: one row
+// per (dataset, batching, selection).
+func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "batching", "selection", "f1_mean", "f1_std", "api_usd", "label_usd"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			rec := []string{
+				r.Dataset, c.Batching.String(), c.Selection.String(),
+				f(c.F1.Mean), f(c.F1.Std), f(c.API), f(c.Label),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure7CSV exports learning-curve series in long form.
+func WriteFigure7CSV(w io.Writer, series []Figure7Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "method", "train_size", "f1", "labeled_pairs"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Dataset, s.Method, strconv.Itoa(p.TrainSize), f(p.F1),
+				strconv.Itoa(s.LabeledPairs),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MarkdownTable3 renders Table III as a Markdown table.
+func MarkdownTable3(w io.Writer, rows []Table3Row) {
+	fprintf(w, "| Dataset | Standard F1 | Batch F1 | Standard $ | Batch $ | Saving |\n")
+	fprintf(w, "|---------|-------------|----------|------------|---------|--------|\n")
+	for _, r := range rows {
+		saving := 0.0
+		if r.BatchAPI > 0 {
+			saving = r.StandardAPI / r.BatchAPI
+		}
+		fprintf(w, "| %s | %s | %s | %.2f | %.2f | %.1fx |\n",
+			r.Dataset, r.StandardF1.String(), r.BatchF1.String(), r.StandardAPI, r.BatchAPI, saving)
+	}
+}
+
+// MarkdownTable4 renders the design space as one Markdown table per
+// dataset with batching rows and selection columns.
+func MarkdownTable4(w io.Writer, rows []Table4Row) {
+	for _, r := range rows {
+		fprintf(w, "**%s** (F1 / label $)\n\n", r.Dataset)
+		fprintf(w, "| Batching |")
+		for _, ss := range core.SelectStrategies() {
+			fprintf(w, " %s |", ss.String())
+		}
+		fprintf(w, "\n|---|")
+		for range core.SelectStrategies() {
+			fprintf(w, "---|")
+		}
+		fprintf(w, "\n")
+		for _, bs := range core.BatchStrategies() {
+			fprintf(w, "| %s |", bs.String())
+			for _, ss := range core.SelectStrategies() {
+				c := r.Cell(bs, ss)
+				fprintf(w, " %.2f / $%.2f |", c.F1.Mean, c.Label)
+			}
+			fprintf(w, "\n")
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// MarkdownFindings renders the findings checklist as a Markdown list.
+func MarkdownFindings(w io.Writer, findings []Finding) {
+	for _, fd := range findings {
+		mark := "❌"
+		if fd.Held {
+			mark = "✅"
+		}
+		fprintf(w, "- %s **Finding %d** — %s. _%s_\n", mark, fd.ID, fd.Claim, fd.Evidence)
+	}
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

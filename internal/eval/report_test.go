@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"batcher/internal/baselines"
+	"batcher/internal/core"
+	"batcher/internal/metrics"
+)
+
+func sampleTable3() []Table3Row {
+	return []Table3Row{
+		{
+			Dataset:     "WA",
+			StandardF1:  metrics.Summary{Mean: 67.5, Std: 8.1, N: 3},
+			BatchF1:     metrics.Summary{Mean: 78.9, Std: 0.3, N: 3},
+			StandardAPI: 1.43, BatchAPI: 0.33,
+		},
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable3CSV(&sb, sampleTable3()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[1][0] != "WA" {
+		t.Errorf("csv = %v", recs)
+	}
+	if recs[1][1] != "67.5000" {
+		t.Errorf("mean cell = %q", recs[1][1])
+	}
+}
+
+func TestWriteTable4CSVLongForm(t *testing.T) {
+	row := Table4Row{Dataset: "IA"}
+	for _, bs := range core.BatchStrategies() {
+		for _, ss := range core.SelectStrategies() {
+			row.Cells = append(row.Cells, Table4Cell{
+				Batching: bs, Selection: ss,
+				F1: metrics.Summary{Mean: 90}, API: 0.01, Label: 0.1,
+			})
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTable4CSV(&sb, []Table4Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if len(recs) != 13 { // header + 12 cells
+		t.Errorf("rows = %d, want 13", len(recs))
+	}
+}
+
+func TestWriteFigure7CSV(t *testing.T) {
+	series := []Figure7Series{{
+		Dataset: "WA", Method: "Ditto",
+		Points: []baselines.LearningCurvePoint{{TrainSize: 50, F1: 20}, {TrainSize: 200, F1: 40}},
+	}}
+	var sb strings.Builder
+	if err := WriteFigure7CSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if len(recs) != 3 {
+		t.Errorf("rows = %d", len(recs))
+	}
+	if recs[2][2] != "200" {
+		t.Errorf("train size cell = %q", recs[2][2])
+	}
+}
+
+func TestMarkdownTable3(t *testing.T) {
+	var sb strings.Builder
+	MarkdownTable3(&sb, sampleTable3())
+	out := sb.String()
+	for _, want := range []string{"| WA |", "67.50±8.10", "4.3x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownTable4(t *testing.T) {
+	row := Table4Row{Dataset: "IA"}
+	for _, bs := range core.BatchStrategies() {
+		for _, ss := range core.SelectStrategies() {
+			row.Cells = append(row.Cells, Table4Cell{Batching: bs, Selection: ss, F1: metrics.Summary{Mean: 88}})
+		}
+	}
+	var sb strings.Builder
+	MarkdownTable4(&sb, []Table4Row{row})
+	if !strings.Contains(sb.String(), "**IA**") || !strings.Contains(sb.String(), "| diversity |") {
+		t.Errorf("markdown:\n%s", sb.String())
+	}
+}
+
+func TestMarkdownFindings(t *testing.T) {
+	var sb strings.Builder
+	MarkdownFindings(&sb, []Finding{
+		{ID: 1, Claim: "c", Held: true, Evidence: "e"},
+		{ID: 2, Claim: "d", Held: false, Evidence: "f"},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "✅ **Finding 1**") || !strings.Contains(out, "❌ **Finding 2**") {
+		t.Errorf("markdown:\n%s", out)
+	}
+}

@@ -1,0 +1,371 @@
+package eval
+
+import (
+	"io"
+
+	"batcher/internal/baselines"
+	"batcher/internal/core"
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/llm"
+	"batcher/internal/metrics"
+)
+
+// --- Table III: standard vs batch prompting -------------------------------
+
+// Table3Row compares standard and batch prompting on one dataset.
+type Table3Row struct {
+	Dataset    string
+	StandardF1 metrics.Summary
+	BatchF1    metrics.Summary
+	// API costs are per-run means in dollars.
+	StandardAPI float64
+	BatchAPI    float64
+}
+
+// RunTable3 reproduces Table III: both methods use the same 8 fixed
+// random demonstrations; batch prompting uses batch size 8, standard
+// prompting batch size 1. Scores are mean±σ over the option seeds.
+func RunTable3(o Options) ([]Table3Row, error) {
+	o = o.withDefaults()
+	var rows []Table3Row
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Dataset: name}
+		var stdF1, batchF1 []float64
+		for _, seed := range o.Seeds {
+			stdCfg := core.Config{BatchSize: 1, Selection: core.FixedSelection}
+			c, res, err := runFramework(w, stdCfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			stdF1 = append(stdF1, c.F1())
+			row.StandardAPI += res.Ledger.API()
+
+			batchCfg := core.Config{BatchSize: 8, Batching: core.RandomBatching, Selection: core.FixedSelection}
+			c, res, err = runFramework(w, batchCfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			batchF1 = append(batchF1, c.F1())
+			row.BatchAPI += res.Ledger.API()
+		}
+		n := float64(len(o.Seeds))
+		row.StandardAPI /= n
+		row.BatchAPI /= n
+		row.StandardF1 = metrics.Summarize(stdF1)
+		row.BatchF1 = metrics.Summarize(batchF1)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows like the paper's Table III.
+func FormatTable3(w io.Writer, rows []Table3Row) {
+	fprintf(w, "Table III: Batch Prompting vs Standard Prompting\n")
+	fprintf(w, "%-6s %-14s %-14s %10s %10s %7s\n", "Data", "Std F1", "Batch F1", "Std $", "Batch $", "Saving")
+	for _, r := range rows {
+		saving := 0.0
+		if r.BatchAPI > 0 {
+			saving = r.StandardAPI / r.BatchAPI
+		}
+		fprintf(w, "%-6s %-14s %-14s %10.2f %10.2f %6.1fx\n",
+			r.Dataset, r.StandardF1.String(), r.BatchF1.String(), r.StandardAPI, r.BatchAPI, saving)
+	}
+}
+
+// --- Table IV: design space -------------------------------------------------
+
+// Table4Cell is one design point's scores on one dataset.
+type Table4Cell struct {
+	Batching  core.BatchStrategy
+	Selection core.SelectStrategy
+	F1        metrics.Summary
+	API       float64
+	Label     float64
+}
+
+// Table4Row holds the full 3x4 grid for one dataset.
+type Table4Row struct {
+	Dataset string
+	Cells   []Table4Cell
+}
+
+// RunTable4 reproduces Table IV: all combinations of question batching and
+// demonstration selection.
+func RunTable4(o Options) ([]Table4Row, error) {
+	o = o.withDefaults()
+	var rows []Table4Row
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{Dataset: name}
+		for _, bs := range core.BatchStrategies() {
+			for _, ss := range core.SelectStrategies() {
+				cell := Table4Cell{Batching: bs, Selection: ss}
+				var f1s []float64
+				for _, seed := range o.Seeds {
+					cfg := core.Config{Batching: bs, Selection: ss}
+					c, res, err := runFramework(w, cfg, seed)
+					if err != nil {
+						return nil, err
+					}
+					f1s = append(f1s, c.F1())
+					cell.API += res.Ledger.API()
+					cell.Label += res.Ledger.Labeling()
+				}
+				n := float64(len(o.Seeds))
+				cell.API /= n
+				cell.Label /= n
+				cell.F1 = metrics.Summarize(f1s)
+				row.Cells = append(row.Cells, cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Best returns the cell with the highest mean F1.
+func (r Table4Row) Best() Table4Cell {
+	best := r.Cells[0]
+	for _, c := range r.Cells[1:] {
+		if c.F1.Mean > best.F1.Mean {
+			best = c
+		}
+	}
+	return best
+}
+
+// Cell returns the scores for a specific design point.
+func (r Table4Row) Cell(b core.BatchStrategy, s core.SelectStrategy) Table4Cell {
+	for _, c := range r.Cells {
+		if c.Batching == b && c.Selection == s {
+			return c
+		}
+	}
+	return Table4Cell{}
+}
+
+// FormatTable4 renders the design-space grid.
+func FormatTable4(w io.Writer, rows []Table4Row) {
+	fprintf(w, "Table IV: Design Space (F1 / API $ / Label $)\n")
+	for _, r := range rows {
+		fprintf(w, "%s:\n", r.Dataset)
+		for _, bs := range core.BatchStrategies() {
+			fprintf(w, "  %-11s", bs.String())
+			for _, ss := range core.SelectStrategies() {
+				c := r.Cell(bs, ss)
+				fprintf(w, " | %-10s %6.2f $%.2f/$%.2f", ss.String(), c.F1.Mean, c.API, c.Label)
+			}
+			fprintf(w, "\n")
+		}
+	}
+}
+
+// --- Table V: ManualPrompt vs BATCHER ---------------------------------------
+
+// Table5Row compares ManualPrompt with the best BATCHER configuration.
+type Table5Row struct {
+	Dataset   string
+	ManualF1  float64
+	ManualAPI float64
+	BatchF1   float64
+	BatchAPI  float64
+}
+
+// Table5Datasets lists the datasets the original ManualPrompt paper
+// evaluated (AB is absent, as noted in Section VI-E).
+var Table5Datasets = []string{"WA", "AG", "DS", "DA", "FZ", "IA", "Beer"}
+
+// RunTable5 reproduces Table V.
+func RunTable5(o Options) ([]Table5Row, error) {
+	o = o.withDefaults()
+	if len(o.Datasets) == 8 {
+		o.Datasets = Table5Datasets
+	}
+	var rows []Table5Row
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Dataset: name}
+		seed := o.Seeds[0]
+		// ManualPrompt: standard prompting with curated demos.
+		mp := &baselines.ManualPrompt{}
+		client := llm.NewSimulated(w.oracle, seed)
+		mres, err := mp.Run(w.questions, w.train, client)
+		if err != nil {
+			return nil, err
+		}
+		var mc metrics.Confusion
+		mc.AddAll(entity.Labels(w.questions), mres.Pred)
+		row.ManualF1 = mc.F1()
+		row.ManualAPI = mres.Ledger.API()
+		// BATCHER at its best design point.
+		c, res, err := runFramework(w, defaultBest(), seed)
+		if err != nil {
+			return nil, err
+		}
+		row.BatchF1 = c.F1()
+		row.BatchAPI = res.Ledger.API()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders Table V.
+func FormatTable5(w io.Writer, rows []Table5Row) {
+	fprintf(w, "Table V: Manual Prompting vs Batch Prompting\n")
+	fprintf(w, "%-6s %12s %12s %12s %12s\n", "Data", "Manual F1", "Manual $", "Batch F1", "Batch $")
+	for _, r := range rows {
+		fprintf(w, "%-6s %12.2f %12.2f %12.2f %12.2f\n",
+			r.Dataset, r.ManualF1, r.ManualAPI, r.BatchF1, r.BatchAPI)
+	}
+}
+
+// --- Table VI: underlying LLMs ----------------------------------------------
+
+// Table6Row scores one dataset across underlying models.
+type Table6Row struct {
+	Dataset string
+	// ByModel maps model name to (F1, API$).
+	ByModel map[string]Table6Cell
+}
+
+// Table6Cell is one model's score.
+type Table6Cell struct {
+	F1  float64
+	API float64
+}
+
+// Table6Models are the proprietary models of Table VI (Llama2 is reported
+// separately as failing batch prompting).
+var Table6Models = []string{llm.GPT35Turbo0301, llm.GPT35Turbo0613, llm.GPT4}
+
+// RunTable6 reproduces Table VI with the best design point per model.
+func RunTable6(o Options) ([]Table6Row, error) {
+	o = o.withDefaults()
+	var rows []Table6Row
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table6Row{Dataset: name, ByModel: map[string]Table6Cell{}}
+		for _, model := range Table6Models {
+			cfg := defaultBest()
+			cfg.Model = model
+			c, res, err := runFramework(w, cfg, o.Seeds[0])
+			if err != nil {
+				return nil, err
+			}
+			row.ByModel[model] = Table6Cell{F1: c.F1(), API: res.Ledger.API()}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunLlama2BatchCheck verifies the Section VI-F observation that Llama2
+// fails to produce usable output under batch prompting: it returns the
+// fraction of questions that received no parseable answer.
+func RunLlama2BatchCheck(o Options) (float64, error) {
+	o = o.withDefaults()
+	w, err := loadWorkload(o.Datasets[0], o)
+	if err != nil {
+		return 0, err
+	}
+	cfg := defaultBest()
+	cfg.Model = llm.Llama2Chat70B
+	_, res, err := runFramework(w, cfg, o.Seeds[0])
+	if err != nil {
+		return 0, err
+	}
+	unanswered := 0
+	for _, p := range res.Pred {
+		if p == entity.Unknown {
+			unanswered++
+		}
+	}
+	return float64(unanswered) / float64(len(res.Pred)), nil
+}
+
+// FormatTable6 renders Table VI.
+func FormatTable6(w io.Writer, rows []Table6Row) {
+	fprintf(w, "Table VI: Underlying LLMs (F1 / API $)\n")
+	fprintf(w, "%-6s", "Data")
+	for _, m := range Table6Models {
+		fprintf(w, " %24s", m)
+	}
+	fprintf(w, "\n")
+	for _, r := range rows {
+		fprintf(w, "%-6s", r.Dataset)
+		for _, m := range Table6Models {
+			c := r.ByModel[m]
+			fprintf(w, "      %8.2f / $%7.2f", c.F1, c.API)
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// --- Table VII: feature extractors ------------------------------------------
+
+// Table7Row scores the three extractor variants on one dataset.
+type Table7Row struct {
+	Dataset string
+	LR      float64
+	JAC     float64
+	SEM     float64
+}
+
+// RunTable7 reproduces Table VII with the best design point per extractor.
+func RunTable7(o Options) ([]Table7Row, error) {
+	o = o.withDefaults()
+	var rows []Table7Row
+	for _, name := range o.Datasets {
+		w, err := loadWorkload(name, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{Dataset: name}
+		for _, ex := range []feature.Extractor{feature.NewLR(), feature.NewJAC(), feature.NewSEM()} {
+			var sum float64
+			for _, seed := range o.Seeds {
+				cfg := defaultBest()
+				cfg.Extractor = ex
+				c, _, err := runFramework(w, cfg, seed)
+				if err != nil {
+					return nil, err
+				}
+				sum += c.F1()
+			}
+			mean := sum / float64(len(o.Seeds))
+			switch ex.Name() {
+			case "LR":
+				row.LR = mean
+			case "JAC":
+				row.JAC = mean
+			case "SEM":
+				row.SEM = mean
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable7 renders Table VII.
+func FormatTable7(w io.Writer, rows []Table7Row) {
+	fprintf(w, "Table VII: Feature Extractors (F1)\n")
+	fprintf(w, "%-6s %12s %12s %12s\n", "Data", "BATCHER-LR", "BATCHER-JAC", "BATCHER-SEM")
+	for _, r := range rows {
+		fprintf(w, "%-6s %12.2f %12.2f %12.2f\n", r.Dataset, r.LR, r.JAC, r.SEM)
+	}
+}

@@ -1,0 +1,81 @@
+package feature
+
+import (
+	"testing"
+
+	"batcher/internal/entity"
+)
+
+func TestHybridDimensions(t *testing.T) {
+	h := NewHybrid()
+	p := entity.Pair{
+		A: rec("a", "title", "x", "price", "1"),
+		B: rec("b", "title", "y", "price", "2"),
+	}
+	v := h.Extract(p)
+	if len(v) != 2+64 {
+		t.Fatalf("hybrid dim = %d, want 66", len(v))
+	}
+	if h.Dim(2) != 66 {
+		t.Errorf("Dim(2) = %d", h.Dim(2))
+	}
+	if h.Name() != "HYB" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestHybridStructureDominates(t *testing.T) {
+	h := NewHybrid()
+	// Same structural profile, different wording: hybrid distance must be
+	// far smaller than for a structurally different pair.
+	same := entity.Pair{
+		A: rec("a", "title", "alpha beta gamma"),
+		B: rec("b", "title", "alpha beta gamma"),
+	}
+	diff := entity.Pair{
+		A: rec("a", "title", "alpha beta gamma"),
+		B: rec("b", "title", "zzz qqq xxx"),
+	}
+	probe := entity.Pair{
+		A: rec("a", "title", "delta epsilon zeta"),
+		B: rec("b", "title", "delta epsilon zeta"),
+	}
+	dSame := Euclidean(h.Extract(same), h.Extract(probe))
+	dDiff := Euclidean(h.Extract(diff), h.Extract(probe))
+	if dSame >= dDiff {
+		t.Errorf("structurally identical pairs should be closer: %v vs %v", dSame, dDiff)
+	}
+}
+
+func TestHybridZeroValueUsable(t *testing.T) {
+	var h Hybrid
+	p := entity.Pair{A: rec("a", "t", "x"), B: rec("b", "t", "x")}
+	v := h.Extract(p)
+	if len(v) == 0 {
+		t.Fatal("zero-value Hybrid produced empty vector")
+	}
+	if h.Dim(1) != 1+64 {
+		t.Errorf("zero-value Dim = %d", h.Dim(1))
+	}
+}
+
+func TestHybridBlendScalesSemantic(t *testing.T) {
+	p := entity.Pair{
+		A: rec("a", "title", "some words here"),
+		B: rec("b", "title", "other words there"),
+	}
+	low := (&Hybrid{Blend: 0.1}).Extract(p)
+	high := (&Hybrid{Blend: 0.9}).Extract(p)
+	// Structural prefix identical; semantic tail scaled.
+	if low[0] != high[0] {
+		t.Error("structural component should not depend on blend")
+	}
+	var lowNorm, highNorm float64
+	for i := 1; i < len(low); i++ {
+		lowNorm += low[i] * low[i]
+		highNorm += high[i] * high[i]
+	}
+	if highNorm <= lowNorm {
+		t.Errorf("higher blend should enlarge semantic block: %v vs %v", highNorm, lowNorm)
+	}
+}

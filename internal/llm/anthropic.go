@@ -1,0 +1,129 @@
+package llm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"batcher/internal/tokens"
+)
+
+// AnthropicCompatible is a Client for endpoints speaking the Anthropic
+// Messages wire format. Like OpenAICompatible it exists so the library
+// runs against live services; tests exercise it with httptest.
+type AnthropicCompatible struct {
+	// BaseURL is the API root, e.g. "https://api.anthropic.com".
+	BaseURL string
+	// APIKey is sent in the x-api-key header when non-empty.
+	APIKey string
+	// Version is the anthropic-version header (defaults to "2023-06-01").
+	Version string
+	// MaxTokens caps the completion length (defaults to 1024).
+	MaxTokens int
+	// HTTPClient defaults to a client with a 60s timeout.
+	HTTPClient *http.Client
+}
+
+type anthropicRequest struct {
+	Model       string             `json:"model"`
+	MaxTokens   int                `json:"max_tokens"`
+	Temperature float64            `json:"temperature"`
+	Messages    []anthropicMessage `json:"messages"`
+}
+
+type anthropicMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+type anthropicResponse struct {
+	Content []struct {
+		Type string `json:"type"`
+		Text string `json:"text"`
+	} `json:"content"`
+	Usage struct {
+		InputTokens  int `json:"input_tokens"`
+		OutputTokens int `json:"output_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Type    string `json:"type"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Complete implements Client.
+func (c *AnthropicCompatible) Complete(req Request) (Response, error) {
+	maxTokens := c.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = 1024
+	}
+	body, err := json.Marshal(anthropicRequest{
+		Model:       req.Model,
+		MaxTokens:   maxTokens,
+		Temperature: req.Temperature,
+		Messages:    []anthropicMessage{{Role: "user", Content: req.Prompt}},
+	})
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: encode request: %w", err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/messages", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		httpReq.Header.Set("x-api-key", c.APIKey)
+	}
+	version := c.Version
+	if version == "" {
+		version = "2023-06-01"
+	}
+	httpReq.Header.Set("anthropic-version", version)
+	client := c.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: request failed: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: read response: %w", err)
+	}
+	var parsed anthropicResponse
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		return Response{}, fmt.Errorf("llm: decode response (status %d): %w", resp.StatusCode, err)
+	}
+	if parsed.Error != nil {
+		return Response{}, fmt.Errorf("llm: api error (%s): %s", parsed.Error.Type, parsed.Error.Message)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("llm: unexpected status %d", resp.StatusCode)
+	}
+	var text string
+	for _, block := range parsed.Content {
+		if block.Type == "text" {
+			text += block.Text
+		}
+	}
+	if text == "" {
+		return Response{}, fmt.Errorf("llm: empty content")
+	}
+	out := Response{
+		Completion:   text,
+		InputTokens:  parsed.Usage.InputTokens,
+		OutputTokens: parsed.Usage.OutputTokens,
+	}
+	if out.InputTokens == 0 {
+		out.InputTokens = tokens.Count(req.Prompt)
+	}
+	if out.OutputTokens == 0 {
+		out.OutputTokens = tokens.Count(text)
+	}
+	return out, nil
+}

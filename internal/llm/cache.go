@@ -1,0 +1,165 @@
+package llm
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Cached wraps a Client with an LRU response cache keyed by (model,
+// prompt, temperature). Re-running an experiment with unchanged prompts
+// then costs nothing — the same trick practitioners use to iterate on ER
+// pipelines without re-billing the API. Cache hits do not re-bill tokens;
+// the returned Response reports zero usage so ledgers stay truthful.
+type Cached struct {
+	inner Client
+
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element of cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+// NewCached returns a caching wrapper holding up to maxEntries responses.
+func NewCached(inner Client, maxEntries int) *Cached {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &Cached{
+		inner:   inner,
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// cacheKey hashes the request identity.
+func cacheKey(req Request) string {
+	h := sha256.New()
+	h.Write([]byte(req.Model))
+	h.Write([]byte{0})
+	h.Write([]byte(req.Prompt))
+	h.Write([]byte{0})
+	// Temperature participates: different sampling regimes are different
+	// distributions.
+	var t [8]byte
+	v := uint64(req.Temperature * 1e6)
+	for i := range t {
+		t[i] = byte(v >> (8 * i))
+	}
+	h.Write(t[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Complete implements Client.
+func (c *Cached) Complete(req Request) (Response, error) {
+	key := cacheKey(req)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.hits++
+		c.mu.Unlock()
+		// A cache hit costs nothing: zero out billed tokens.
+		resp.InputTokens = 0
+		resp.OutputTokens = 0
+		return resp, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	resp, err := c.inner.Complete(req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another goroutine; keep the existing entry.
+		c.order.MoveToFront(el)
+		return resp, nil
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return resp, nil
+}
+
+// Stats returns cache hit and miss counts.
+func (c *Cached) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached responses.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// UsageTracker wraps a Client and aggregates token usage per model. It is
+// safe for concurrent use and composes with any other middleware.
+type UsageTracker struct {
+	inner Client
+
+	mu    sync.Mutex
+	usage map[string]*Usage
+}
+
+// Usage is the per-model aggregate.
+type Usage struct {
+	Calls        int
+	InputTokens  int
+	OutputTokens int
+	Errors       int
+}
+
+// NewUsageTracker returns a tracking wrapper.
+func NewUsageTracker(inner Client) *UsageTracker {
+	return &UsageTracker{inner: inner, usage: make(map[string]*Usage)}
+}
+
+// Complete implements Client.
+func (u *UsageTracker) Complete(req Request) (Response, error) {
+	resp, err := u.inner.Complete(req)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s, ok := u.usage[req.Model]
+	if !ok {
+		s = &Usage{}
+		u.usage[req.Model] = s
+	}
+	if err != nil {
+		s.Errors++
+		return resp, err
+	}
+	s.Calls++
+	s.InputTokens += resp.InputTokens
+	s.OutputTokens += resp.OutputTokens
+	return resp, nil
+}
+
+// Snapshot returns a copy of the per-model usage table.
+func (u *UsageTracker) Snapshot() map[string]Usage {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make(map[string]Usage, len(u.usage))
+	for m, s := range u.usage {
+		out[m] = *s
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// counting is a Client that counts calls and echoes a canned answer.
+type counting struct {
+	mu    sync.Mutex
+	calls int
+	err   error
+}
+
+func (c *counting) Complete(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.err != nil {
+		return Response{}, c.err
+	}
+	return Response{Completion: "Question 1: Yes", InputTokens: 10, OutputTokens: 4}, nil
+}
+
+func TestCachedHitsSkipInner(t *testing.T) {
+	inner := &counting{}
+	c := NewCached(inner, 10)
+	req := Request{Model: "m", Prompt: "p", Temperature: 0.01}
+	r1, err := c.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner calls = %d, want 1", inner.calls)
+	}
+	if r1.Completion != r2.Completion {
+		t.Error("cached completion differs")
+	}
+	if r2.InputTokens != 0 || r2.OutputTokens != 0 {
+		t.Errorf("cache hit billed tokens: %d/%d", r2.InputTokens, r2.OutputTokens)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCachedKeyIncludesModelAndTemperature(t *testing.T) {
+	inner := &counting{}
+	c := NewCached(inner, 10)
+	c.Complete(Request{Model: "a", Prompt: "p", Temperature: 0.01})
+	c.Complete(Request{Model: "b", Prompt: "p", Temperature: 0.01})
+	c.Complete(Request{Model: "a", Prompt: "p", Temperature: 0.9})
+	if inner.calls != 3 {
+		t.Errorf("distinct requests collapsed: %d calls", inner.calls)
+	}
+}
+
+func TestCachedLRUEviction(t *testing.T) {
+	inner := &counting{}
+	c := NewCached(inner, 2)
+	for i := 0; i < 3; i++ {
+		c.Complete(Request{Model: "m", Prompt: fmt.Sprintf("p%d", i)})
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	// p0 was evicted: asking again must call inner.
+	before := inner.calls
+	c.Complete(Request{Model: "m", Prompt: "p0"})
+	if inner.calls != before+1 {
+		t.Error("evicted entry served from cache")
+	}
+	// p2 is still cached.
+	before = inner.calls
+	c.Complete(Request{Model: "m", Prompt: "p2"})
+	if inner.calls != before {
+		t.Error("recent entry not served from cache")
+	}
+}
+
+func TestCachedErrorNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	inner := &counting{err: boom}
+	c := NewCached(inner, 10)
+	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	inner.err = nil
+	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err != nil {
+		t.Fatalf("second attempt err = %v", err)
+	}
+	if inner.calls != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", inner.calls)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	inner := &counting{}
+	c := NewCached(inner, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Complete(Request{Model: "m", Prompt: fmt.Sprintf("p%d", i%10)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 10 {
+		t.Errorf("Len = %d, want 10 distinct prompts", c.Len())
+	}
+}
+
+func TestUsageTrackerAggregates(t *testing.T) {
+	inner := &counting{}
+	u := NewUsageTracker(inner)
+	u.Complete(Request{Model: "m1", Prompt: "a"})
+	u.Complete(Request{Model: "m1", Prompt: "b"})
+	u.Complete(Request{Model: "m2", Prompt: "c"})
+	snap := u.Snapshot()
+	if snap["m1"].Calls != 2 || snap["m2"].Calls != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap["m1"].InputTokens != 20 || snap["m1"].OutputTokens != 8 {
+		t.Errorf("m1 tokens = %+v", snap["m1"])
+	}
+}
+
+func TestUsageTrackerCountsErrors(t *testing.T) {
+	boom := errors.New("x")
+	inner := &counting{err: boom}
+	u := NewUsageTracker(inner)
+	u.Complete(Request{Model: "m", Prompt: "a"})
+	snap := u.Snapshot()
+	if snap["m"].Errors != 1 || snap["m"].Calls != 0 {
+		t.Errorf("snapshot = %+v", snap["m"])
+	}
+}
+
+func TestMiddlewareComposition(t *testing.T) {
+	// Tracker around cache around inner: cached hits show up as calls
+	// with zero tokens in the tracker, proving composition works.
+	inner := &counting{}
+	stack := NewUsageTracker(NewCached(inner, 10))
+	req := Request{Model: "m", Prompt: "p"}
+	stack.Complete(req)
+	stack.Complete(req)
+	snap := stack.Snapshot()
+	if snap["m"].Calls != 2 {
+		t.Errorf("tracker calls = %d", snap["m"].Calls)
+	}
+	if snap["m"].InputTokens != 10 {
+		t.Errorf("tracker input tokens = %d, want 10 (second call free)", snap["m"].InputTokens)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner calls = %d", inner.calls)
+	}
+}

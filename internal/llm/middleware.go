@@ -1,0 +1,110 @@
+package llm
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// RateLimited wraps a Client with a token-bucket limiter on requests per
+// minute, the shape proprietary APIs actually enforce. It is safe for
+// concurrent use.
+type RateLimited struct {
+	inner Client
+
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+	refill   float64 // tokens per second
+	last     time.Time
+	now      func() time.Time
+	sleep    func(time.Duration)
+}
+
+// NewRateLimited returns a wrapper allowing requestsPerMinute calls with a
+// burst of the same size.
+func NewRateLimited(inner Client, requestsPerMinute int) *RateLimited {
+	if requestsPerMinute <= 0 {
+		requestsPerMinute = 1
+	}
+	return &RateLimited{
+		inner:    inner,
+		capacity: float64(requestsPerMinute),
+		tokens:   float64(requestsPerMinute),
+		refill:   float64(requestsPerMinute) / 60,
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}
+}
+
+// Complete implements Client, blocking until the bucket grants a token.
+func (r *RateLimited) Complete(req Request) (Response, error) {
+	r.wait()
+	return r.inner.Complete(req)
+}
+
+func (r *RateLimited) wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if !r.last.IsZero() {
+		r.tokens += now.Sub(r.last).Seconds() * r.refill
+		if r.tokens > r.capacity {
+			r.tokens = r.capacity
+		}
+	}
+	r.last = now
+	if r.tokens >= 1 {
+		r.tokens--
+		return
+	}
+	need := (1 - r.tokens) / r.refill
+	d := time.Duration(need * float64(time.Second))
+	r.mu.Unlock()
+	r.sleep(d)
+	r.mu.Lock()
+	r.tokens = 0
+	r.last = r.now()
+}
+
+// Retrying wraps a Client with bounded exponential-backoff retries on
+// transient errors. Context-length and unknown-model errors are permanent
+// and never retried.
+type Retrying struct {
+	inner Client
+	// MaxAttempts is the total number of tries (>= 1).
+	MaxAttempts int
+	// BaseDelay is the first backoff; it doubles per attempt.
+	BaseDelay time.Duration
+	// sleep is stubbed in tests.
+	sleep func(time.Duration)
+}
+
+// NewRetrying returns a retrying wrapper with the given attempt budget.
+func NewRetrying(inner Client, maxAttempts int, baseDelay time.Duration) *Retrying {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	return &Retrying{inner: inner, MaxAttempts: maxAttempts, BaseDelay: baseDelay, sleep: time.Sleep}
+}
+
+// Complete implements Client.
+func (t *Retrying) Complete(req Request) (Response, error) {
+	var lastErr error
+	delay := t.BaseDelay
+	for attempt := 0; attempt < t.MaxAttempts; attempt++ {
+		resp, err := t.inner.Complete(req)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrContextLength) || errors.Is(err, ErrUnknownModel) {
+			return Response{}, err
+		}
+		lastErr = err
+		if attempt < t.MaxAttempts-1 && delay > 0 {
+			t.sleep(delay)
+			delay *= 2
+		}
+	}
+	return Response{}, lastErr
+}

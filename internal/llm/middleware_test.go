@@ -1,0 +1,245 @@
+package llm
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted is a Client returning queued responses/errors.
+type scripted struct {
+	mu    sync.Mutex
+	resps []Response
+	errs  []error
+	calls int
+}
+
+func (s *scripted) Complete(Request) (Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls
+	s.calls++
+	var r Response
+	var e error
+	if i < len(s.resps) {
+		r = s.resps[i]
+	}
+	if i < len(s.errs) {
+		e = s.errs[i]
+	}
+	return r, e
+}
+
+func TestRetryingSucceedsAfterTransient(t *testing.T) {
+	transient := errors.New("rate limited")
+	inner := &scripted{
+		resps: []Response{{}, {}, {Completion: "ok"}},
+		errs:  []error{transient, transient, nil},
+	}
+	r := NewRetrying(inner, 3, time.Millisecond)
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	resp, err := r.Complete(Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completion != "ok" {
+		t.Errorf("Completion = %q", resp.Completion)
+	}
+	if inner.calls != 3 {
+		t.Errorf("calls = %d, want 3", inner.calls)
+	}
+	if len(slept) != 2 || slept[1] != 2*slept[0] {
+		t.Errorf("backoff = %v, want doubling", slept)
+	}
+}
+
+func TestRetryingGivesUp(t *testing.T) {
+	transient := errors.New("boom")
+	inner := &scripted{errs: []error{transient, transient, transient}}
+	r := NewRetrying(inner, 3, 0)
+	r.sleep = func(time.Duration) {}
+	_, err := r.Complete(Request{})
+	if !errors.Is(err, transient) {
+		t.Errorf("err = %v", err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("calls = %d", inner.calls)
+	}
+}
+
+func TestRetryingPermanentErrorsNotRetried(t *testing.T) {
+	for _, perm := range []error{ErrContextLength, ErrUnknownModel} {
+		inner := &scripted{errs: []error{perm, nil}}
+		r := NewRetrying(inner, 5, 0)
+		r.sleep = func(time.Duration) {}
+		_, err := r.Complete(Request{})
+		if !errors.Is(err, perm) {
+			t.Errorf("err = %v, want %v", err, perm)
+		}
+		if inner.calls != 1 {
+			t.Errorf("permanent error retried %d times", inner.calls)
+		}
+	}
+}
+
+func TestRetryingMinAttempts(t *testing.T) {
+	inner := &scripted{resps: []Response{{Completion: "x"}}}
+	r := NewRetrying(inner, 0, 0) // clamped to 1
+	if _, err := r.Complete(Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("calls = %d", inner.calls)
+	}
+}
+
+func TestRateLimitedAllowsBurst(t *testing.T) {
+	inner := &scripted{resps: make([]Response, 10)}
+	rl := NewRateLimited(inner, 10)
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	var slept time.Duration
+	rl.sleep = func(d time.Duration) { slept += d }
+	for i := 0; i < 10; i++ {
+		if _, err := rl.Complete(Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slept != 0 {
+		t.Errorf("burst within capacity slept %v", slept)
+	}
+}
+
+func TestRateLimitedBlocksPastCapacity(t *testing.T) {
+	inner := &scripted{resps: make([]Response, 3)}
+	rl := NewRateLimited(inner, 2)
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	var slept time.Duration
+	rl.sleep = func(d time.Duration) {
+		slept += d
+		now = now.Add(d) // simulate the passage of time
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rl.Complete(Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slept <= 0 {
+		t.Error("third call within the same instant should have slept")
+	}
+}
+
+func TestRateLimitedRefills(t *testing.T) {
+	inner := &scripted{resps: make([]Response, 4)}
+	rl := NewRateLimited(inner, 60) // 1 per second refill
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	var slept time.Duration
+	rl.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+	// Drain the bucket.
+	for i := 0; i < 3; i++ {
+		rl.Complete(Request{})
+	}
+	// Advance a minute: bucket refills fully; next call must not sleep.
+	now = now.Add(time.Minute)
+	before := slept
+	rl.Complete(Request{})
+	if slept != before {
+		t.Error("call after refill should not sleep")
+	}
+}
+
+func TestOpenAICompatibleHappyPath(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/chat/completions" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		if got := r.Header.Get("Authorization"); got != "Bearer sk-test" {
+			t.Errorf("auth = %q", got)
+		}
+		w.Write([]byte(`{
+			"choices":[{"message":{"role":"assistant","content":"Question 1: Yes"}}],
+			"usage":{"prompt_tokens":42,"completion_tokens":5}
+		}`))
+	}))
+	defer srv.Close()
+	c := &OpenAICompatible{BaseURL: srv.URL, APIKey: "sk-test"}
+	resp, err := c.Complete(Request{Model: "gpt-3.5-turbo", Prompt: "hello", Temperature: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completion != "Question 1: Yes" {
+		t.Errorf("Completion = %q", resp.Completion)
+	}
+	if resp.InputTokens != 42 || resp.OutputTokens != 5 {
+		t.Errorf("usage = %d/%d", resp.InputTokens, resp.OutputTokens)
+	}
+}
+
+func TestOpenAICompatibleAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(429)
+		w.Write([]byte(`{"error":{"message":"rate limit","type":"rate_limit_error"}}`))
+	}))
+	defer srv.Close()
+	c := &OpenAICompatible{BaseURL: srv.URL}
+	_, err := c.Complete(Request{Model: "m", Prompt: "p"})
+	if err == nil || !contains(err.Error(), "rate limit") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpenAICompatibleMissingUsageFallsBack(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"choices":[{"message":{"role":"assistant","content":"Question 1: No"}}]}`))
+	}))
+	defer srv.Close()
+	c := &OpenAICompatible{BaseURL: srv.URL}
+	resp, err := c.Complete(Request{Model: "m", Prompt: "some prompt text here"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.InputTokens == 0 || resp.OutputTokens == 0 {
+		t.Errorf("usage fallback missing: %d/%d", resp.InputTokens, resp.OutputTokens)
+	}
+}
+
+func TestOpenAICompatibleEmptyChoices(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"choices":[]}`))
+	}))
+	defer srv.Close()
+	c := &OpenAICompatible{BaseURL: srv.URL}
+	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil {
+		t.Error("empty choices should error")
+	}
+}
+
+func TestOpenAICompatibleBadJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{not json`))
+	}))
+	defer srv.Close()
+	c := &OpenAICompatible{BaseURL: srv.URL}
+	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil {
+		t.Error("bad json should error")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,112 @@
+package llm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"batcher/internal/tokens"
+)
+
+// OpenAICompatible is a Client for chat-completions endpoints speaking the
+// OpenAI wire format. It exists so the library is usable against live
+// services; the offline reproduction never dials out (tests exercise it
+// against net/http/httptest servers).
+type OpenAICompatible struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
+	BaseURL string
+	// APIKey is sent as a bearer token when non-empty.
+	APIKey string
+	// HTTPClient defaults to a client with a 60s timeout.
+	HTTPClient *http.Client
+}
+
+// chatRequest is the OpenAI chat-completions request body.
+type chatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []chatMessage `json:"messages"`
+	Temperature float64       `json:"temperature"`
+}
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// chatResponse is the subset of the response body we consume.
+type chatResponse struct {
+	Choices []struct {
+		Message chatMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// Complete implements Client.
+func (c *OpenAICompatible) Complete(req Request) (Response, error) {
+	body, err := json.Marshal(chatRequest{
+		Model:       req.Model,
+		Messages:    []chatMessage{{Role: "user", Content: req.Prompt}},
+		Temperature: req.Temperature,
+	})
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: encode request: %w", err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	client := c.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: request failed: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: read response: %w", err)
+	}
+	var parsed chatResponse
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		return Response{}, fmt.Errorf("llm: decode response (status %d): %w", resp.StatusCode, err)
+	}
+	if parsed.Error != nil {
+		return Response{}, fmt.Errorf("llm: api error (%s): %s", parsed.Error.Type, parsed.Error.Message)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("llm: unexpected status %d", resp.StatusCode)
+	}
+	if len(parsed.Choices) == 0 {
+		return Response{}, fmt.Errorf("llm: empty choices")
+	}
+	out := Response{
+		Completion:   parsed.Choices[0].Message.Content,
+		InputTokens:  parsed.Usage.PromptTokens,
+		OutputTokens: parsed.Usage.CompletionTokens,
+	}
+	// Some compatible servers omit usage; fall back to local counting so
+	// billing never silently records zero.
+	if out.InputTokens == 0 {
+		out.InputTokens = tokens.Count(req.Prompt)
+	}
+	if out.OutputTokens == 0 {
+		out.OutputTokens = tokens.Count(out.Completion)
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+// Package pipeline assembles the end-to-end ER system of Section II-A: a
+// blocker produces candidate pairs from two raw tables, the BATCHER
+// matcher labels them, and the result is a set of matched record ID
+// pairs with full cost accounting. The paper evaluates only the matcher
+// over pre-blocked candidates; this package is what a downstream user
+// runs on actual tables.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+)
+
+// Config wires the two stages together.
+type Config struct {
+	// Blocker produces candidates; nil defaults to token-overlap blocking
+	// on all attributes with MinShared 2.
+	Blocker blocking.Blocker
+	// Matcher configures the BATCHER stage; zero value gets the paper's
+	// defaults.
+	Matcher core.Config
+	// Pool supplies labeled pairs for demonstration annotation. Nil means
+	// the candidates themselves form the (unlabeled) pool.
+	Pool []entity.Pair
+	// MaxCandidates aborts if blocking produces more pairs; a guard
+	// against runaway API budgets. Zero disables the guard.
+	MaxCandidates int
+}
+
+// Match is one output match.
+type Match struct {
+	IDA, IDB string
+}
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	// Candidates is the number of blocked candidate pairs.
+	Candidates int
+	// Matches lists the record ID pairs predicted to match.
+	Matches []Match
+	// Result is the underlying matcher result (ledger, batches, ...).
+	Result *core.Result
+	// BlockingTime and MatchingTime are the stage wall-clock durations.
+	BlockingTime, MatchingTime time.Duration
+}
+
+// Run executes blocking then matching over the two tables.
+func Run(cfg Config, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+	blocker := cfg.Blocker
+	if blocker == nil {
+		blocker = &blocking.TokenBlocker{MinShared: 2, MaxPostings: 512}
+	}
+	t0 := time.Now()
+	candidates := blocker.Block(tableA, tableB)
+	blockingTime := time.Since(t0)
+	if cfg.MaxCandidates > 0 && len(candidates) > cfg.MaxCandidates {
+		return nil, fmt.Errorf("pipeline: blocking produced %d candidates, cap is %d",
+			len(candidates), cfg.MaxCandidates)
+	}
+	rep := &Report{Candidates: len(candidates), BlockingTime: blockingTime}
+	if len(candidates) == 0 {
+		rep.Result = &core.Result{}
+		return rep, nil
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = candidates
+	}
+	f := core.New(cfg.Matcher, client)
+	t1 := time.Now()
+	res, err := f.Resolve(candidates, pool)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: matching: %w", err)
+	}
+	rep.MatchingTime = time.Since(t1)
+	rep.Result = res
+	for i, p := range candidates {
+		if res.Pred[i] == entity.Match {
+			rep.Matches = append(rep.Matches, Match{IDA: p.A.ID, IDB: p.B.ID})
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders a one-paragraph report.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("pipeline: %d candidates (blocked in %v), %d matches (matched in %v), %s",
+		r.Candidates, r.BlockingTime.Round(time.Millisecond),
+		len(r.Matches), r.MatchingTime.Round(time.Millisecond),
+		r.Result.Ledger.String())
+}

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+)
+
+func benchTables(t *testing.T) (*entity.Dataset, []entity.Record, []entity.Record) {
+	t.Helper()
+	d, err := datagen.GenerateByName("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.TableA[:120], d.TableB[:120]
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	d, ta, tb := benchTables(t)
+	split := entity.SplitPairs(d.Pairs)
+	client := llm.NewSimulated(llm.BuildOracle(d.Pairs), 1)
+	rep, err := Run(Config{
+		Blocker: &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
+		Pool:    split.Train,
+	}, client, ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("no candidates blocked")
+	}
+	if rep.Result == nil || rep.Result.Ledger.Calls() == 0 {
+		t.Error("matcher did not run")
+	}
+	if !strings.Contains(rep.Summary(), "candidates") {
+		t.Errorf("Summary = %q", rep.Summary())
+	}
+	// Every emitted match must reference real record IDs.
+	ids := map[string]bool{}
+	for _, r := range append(append([]entity.Record{}, ta...), tb...) {
+		ids[r.ID] = true
+	}
+	for _, m := range rep.Matches {
+		if !ids[m.IDA] || !ids[m.IDB] {
+			t.Fatalf("match references unknown records: %+v", m)
+		}
+	}
+}
+
+func TestRunFindsTruePairs(t *testing.T) {
+	// Against the oracle-backed simulator, blocked true matches should
+	// mostly come back as matches.
+	d, _, _ := benchTables(t)
+	client := llm.NewSimulated(llm.BuildOracle(d.Pairs), 1)
+	split := entity.SplitPairs(d.Pairs)
+	rep, err := Run(Config{
+		Blocker: &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
+		Pool:    split.Train,
+		Matcher: core.Config{Batching: core.DiversityBatching, Selection: core.CoveringSelection},
+	}, client, d.TableA, d.TableB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := map[string]bool{}
+	for _, p := range d.Pairs {
+		if p.Truth == entity.Match {
+			gold[p.Key()] = true
+		}
+	}
+	found := 0
+	for _, m := range rep.Matches {
+		if gold[m.IDA+"|"+m.IDB] {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("pipeline found no true matches")
+	}
+}
+
+func TestRunMaxCandidatesGuard(t *testing.T) {
+	_, ta, tb := benchTables(t)
+	client := llm.NewSimulated(nil, 1)
+	_, err := Run(Config{MaxCandidates: 1}, client, ta, tb)
+	if err == nil {
+		t.Error("candidate cap not enforced")
+	}
+}
+
+func TestRunEmptyTables(t *testing.T) {
+	client := llm.NewSimulated(nil, 1)
+	rep, err := Run(Config{}, client, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates != 0 || len(rep.Matches) != 0 {
+		t.Errorf("empty run = %+v", rep)
+	}
+}
+
+func TestRunDefaultBlocker(t *testing.T) {
+	_, ta, tb := benchTables(t)
+	client := llm.NewSimulated(nil, 1)
+	rep, err := Run(Config{}, client, ta[:20], tb[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlockingTime <= 0 {
+		t.Error("blocking time not recorded")
+	}
+}

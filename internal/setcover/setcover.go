@@ -1,0 +1,168 @@
+// Package setcover implements the greedy weighted set cover algorithm of
+// the paper's Algorithm 1, used by both covering-based selection stages:
+//
+//   - Demonstration Set Generation (Section V-A): unit weights, minimize the
+//     number of demonstrations covering all questions; and
+//   - Batch Covering (Section V-B): token-count weights, minimize the total
+//     token weight of demonstrations covering a batch.
+//
+// The package exposes the generic greedy routine over an abstract coverage
+// relation plus the Hk-bound helpers quoted in the paper's approximation
+// guarantees.
+package setcover
+
+import "math"
+
+// Instance describes a weighted set cover instance: nq questions, nd
+// candidate demonstrations, a coverage predicate, and per-demonstration
+// weights.
+type Instance struct {
+	// NumQuestions is the number of elements to cover.
+	NumQuestions int
+	// NumDemos is the number of candidate covering sets.
+	NumDemos int
+	// Covers reports whether demonstration d covers question q.
+	Covers func(d, q int) bool
+	// Weight is the cost of selecting demonstration d. Nil means unit
+	// weights.
+	Weight func(d int) float64
+}
+
+// Greedy runs Algorithm 1: starting from the empty selection, repeatedly
+// add the demonstration maximizing (marginal covered questions) / weight
+// until the selection covers every question that the full candidate set
+// can cover. The returned slice lists selected demonstration indices in
+// selection order.
+//
+// Questions that no candidate covers are ignored (they cap the reachable
+// value, matching the f_Q(Ds) != f_Q(D) termination test in the paper).
+func Greedy(inst Instance) []int {
+	weight := inst.Weight
+	if weight == nil {
+		weight = func(int) float64 { return 1 }
+	}
+	// Precompute cover lists; skip questions nothing covers.
+	coverable := make([]bool, inst.NumQuestions)
+	coversQ := make([][]int, inst.NumDemos) // demo -> covered questions
+	for d := 0; d < inst.NumDemos; d++ {
+		for q := 0; q < inst.NumQuestions; q++ {
+			if inst.Covers(d, q) {
+				coversQ[d] = append(coversQ[d], q)
+				coverable[q] = true
+			}
+		}
+	}
+	target := 0
+	for _, c := range coverable {
+		if c {
+			target++
+		}
+	}
+	covered := make([]bool, inst.NumQuestions)
+	selected := make([]bool, inst.NumDemos)
+	var out []int
+	numCovered := 0
+	for numCovered < target {
+		best, bestRatio, bestGain := -1, 0.0, 0
+		for d := 0; d < inst.NumDemos; d++ {
+			if selected[d] {
+				continue
+			}
+			gain := 0
+			for _, q := range coversQ[d] {
+				if !covered[q] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			w := weight(d)
+			if w <= 0 {
+				w = 1e-12 // guard: nonpositive weights would loop forever
+			}
+			ratio := float64(gain) / w
+			// Deterministic tie-break: higher ratio, then higher raw gain,
+			// then lower index.
+			if best == -1 || ratio > bestRatio || (ratio == bestRatio && gain > bestGain) {
+				best, bestRatio, bestGain = d, ratio, gain
+			}
+		}
+		if best == -1 {
+			break // nothing adds coverage; shouldn't happen given target
+		}
+		selected[best] = true
+		out = append(out, best)
+		for _, q := range coversQ[best] {
+			if !covered[q] {
+				covered[q] = true
+				numCovered++
+			}
+		}
+	}
+	return out
+}
+
+// GreedyThreshold is a convenience wrapper for the geometric case used by
+// BATCHER: demonstration d covers question q iff dist(d, q) < t.
+func GreedyThreshold(numDemos, numQuestions int, dist func(d, q int) float64, t float64, weight func(d int) float64) []int {
+	return Greedy(Instance{
+		NumQuestions: numQuestions,
+		NumDemos:     numDemos,
+		Covers:       func(d, q int) bool { return dist(d, q) < t },
+		Weight:       weight,
+	})
+}
+
+// Coverage reports how many of the nq questions the selection covers under
+// the instance's predicate, and whether all coverable questions are
+// covered.
+func Coverage(inst Instance, selection []int) (covered int, complete bool) {
+	cov := make([]bool, inst.NumQuestions)
+	for _, d := range selection {
+		for q := 0; q < inst.NumQuestions; q++ {
+			if inst.Covers(d, q) {
+				cov[q] = true
+			}
+		}
+	}
+	reachable := make([]bool, inst.NumQuestions)
+	for d := 0; d < inst.NumDemos; d++ {
+		for q := 0; q < inst.NumQuestions; q++ {
+			if inst.Covers(d, q) {
+				reachable[q] = true
+			}
+		}
+	}
+	complete = true
+	for q := 0; q < inst.NumQuestions; q++ {
+		if cov[q] {
+			covered++
+		} else if reachable[q] {
+			complete = false
+		}
+	}
+	return covered, complete
+}
+
+// Hk returns the k-th harmonic number H_k = sum_{i=1..k} 1/i, the factor in
+// the greedy algorithm's Hk·OPT approximation bound quoted in Section V-A.
+func Hk(k int) float64 {
+	var h float64
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// BatchCoverBound returns the paper's quoted approximation ratio for the
+// Batch Covering greedy, ln|B| - ln ln|B| + Θ(1), evaluated with the Θ(1)
+// term as 1. For |B| < 3 the bound degenerates; we return 1 (the greedy is
+// optimal for one question and near-optimal for two).
+func BatchCoverBound(batchSize int) float64 {
+	if batchSize < 3 {
+		return 1
+	}
+	l := math.Log(float64(batchSize))
+	return l - math.Log(l) + 1
+}

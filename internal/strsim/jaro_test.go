@@ -1,0 +1,177 @@
+package strsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-3 }
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944},
+		{"DIXON", "DICKSONX", 0.767},
+		{"JELLYFISH", "SMELLYFISH", 0.896},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !approx(got, c.want) {
+			t.Errorf("Jaro(%q,%q) = %.3f, want %.3f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroSymmetricAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		a, b := randString(r, 10), randString(r, 10)
+		ab, ba := Jaro(a, b), Jaro(b, a)
+		if !approx(ab, ba) {
+			t.Fatalf("Jaro asymmetric on %q,%q: %v vs %v", a, b, ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("Jaro out of range: %v", ab)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	// Same Jaro base, shared prefix should score higher.
+	plain := Jaro("prefixes", "prefixed")
+	boosted := JaroWinkler("prefixes", "prefixed")
+	if boosted <= plain {
+		t.Errorf("JaroWinkler (%v) should boost shared prefix over Jaro (%v)", boosted, plain)
+	}
+	if got := JaroWinkler("abc", "abc"); got != 1 {
+		t.Errorf("JaroWinkler identical = %v", got)
+	}
+}
+
+func TestJaroWinklerKnownValue(t *testing.T) {
+	if got := JaroWinkler("MARTHA", "MARHTA"); !approx(got, 0.961) {
+		t.Errorf("JaroWinkler(MARTHA,MARHTA) = %.3f, want 0.961", got)
+	}
+}
+
+func TestJaroWinklerBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a, b := randString(r, 10), randString(r, 10)
+		v := JaroWinkler(a, b)
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("JaroWinkler out of range on %q,%q: %v", a, b, v)
+		}
+		if v+1e-12 < Jaro(a, b) {
+			t.Fatalf("JaroWinkler below Jaro on %q,%q", a, b)
+		}
+	}
+}
+
+func TestTFIDFModelIDF(t *testing.T) {
+	m := NewTFIDFModel([]string{"the cat", "the dog", "the bird"})
+	if m.Docs() != 3 {
+		t.Fatalf("Docs = %d", m.Docs())
+	}
+	if m.IDF("the") >= m.IDF("cat") {
+		t.Errorf("frequent token should have lower IDF: the=%v cat=%v", m.IDF("the"), m.IDF("cat"))
+	}
+	if m.IDF("unseen") < m.IDF("cat") {
+		t.Errorf("unseen token should have max IDF")
+	}
+}
+
+func TestTFIDFCosineWeighting(t *testing.T) {
+	// Corpus where "player" is ubiquitous and model numbers are rare:
+	// sharing the rare token should matter more than sharing the common.
+	corpus := []string{
+		"dvd player x100", "dvd player x200", "dvd player x300",
+		"dvd player x400", "dvd player x500",
+	}
+	m := NewTFIDFModel(corpus)
+	shareRare := m.Cosine("player x100", "brand x100")
+	shareCommon := m.Cosine("player x100", "player x999")
+	if shareRare <= shareCommon {
+		t.Errorf("sharing rare token (%v) should beat sharing common token (%v)", shareRare, shareCommon)
+	}
+}
+
+func TestTFIDFCosineIdentity(t *testing.T) {
+	m := NewTFIDFModel([]string{"a b c", "d e f"})
+	if got := m.Cosine("a b c", "a b c"); !approx(got, 1) {
+		t.Errorf("self cosine = %v", got)
+	}
+	if got := m.Cosine("", ""); got != 1 {
+		t.Errorf("empty cosine = %v", got)
+	}
+	if got := m.Cosine("a b", "x y"); got != 0 {
+		t.Errorf("disjoint cosine = %v", got)
+	}
+}
+
+func TestSoftCosineToleratesTypos(t *testing.T) {
+	corpus := []string{"panasonic viera tv", "samsung neo tv", "sony bravia tv"}
+	m := NewTFIDFModel(corpus)
+	exact := m.Cosine("panasonic viera", "panasonc viera") // typo kills exact match
+	soft := m.SoftCosine("panasonic viera", "panasonc viera", 0.8)
+	if soft <= exact {
+		t.Errorf("SoftCosine (%v) should beat exact cosine (%v) under typo", soft, exact)
+	}
+}
+
+func TestSoftCosineThreshold(t *testing.T) {
+	m := NewTFIDFModel([]string{"alpha beta", "gamma delta"})
+	// With threshold 1.0 only exact tokens count.
+	strict := m.SoftCosine("alpha", "alpho", 1.0)
+	loose := m.SoftCosine("alpha", "alpho", 0.5)
+	if strict >= loose {
+		t.Errorf("strict threshold (%v) should score below loose (%v)", strict, loose)
+	}
+}
+
+func TestSoftCosineBounded(t *testing.T) {
+	m := NewTFIDFModel([]string{"a b", "c d", "e f"})
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := randString(r, 6) + " " + randString(r, 6)
+		b := randString(r, 6) + " " + randString(r, 6)
+		v := m.SoftCosine(a, b, 0.7)
+		if v < 0 || v > 1 {
+			t.Fatalf("SoftCosine out of range: %v", v)
+		}
+	}
+}
+
+func TestTFIDFIncrementalAdd(t *testing.T) {
+	m := &TFIDFModel{df: map[string]int{}}
+	m.Add("hello world")
+	m.Add("hello again")
+	if m.Docs() != 2 {
+		t.Errorf("Docs = %d", m.Docs())
+	}
+	if m.IDF("hello") >= m.IDF("world") {
+		t.Error("hello appears twice, should have lower IDF than world")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("Here Comes the Fuzz", "Here Comes The Fuzz [Explicit]")
+	}
+}
+
+func BenchmarkSoftCosine(b *testing.B) {
+	m := NewTFIDFModel([]string{"apple iphone 13 pro", "samsung galaxy s22", "google pixel 7"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.SoftCosine("apple iphone 13", "aple iphone 13 pro max", 0.8)
+	}
+}

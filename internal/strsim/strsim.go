@@ -1,0 +1,224 @@
+// Package strsim implements the string similarity primitives used by the
+// structure-aware feature extractor and the blocker: Levenshtein edit
+// distance and ratio (Eq. 5 of the paper), Jaccard similarity over token
+// sets (Eq. 4), q-gram sets, cosine similarity over token multisets,
+// overlap coefficient, and Monge-Elkan hybrid similarity.
+//
+// All similarity functions return values in [0, 1], with 1 meaning
+// identical, and treat two empty strings as identical (similarity 1).
+package strsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions, and substitutions that transform a
+// into b. It runs in O(len(a)*len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string in rb to bound the row width.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinRatio returns the paper's LR similarity (Eq. 5):
+//
+//	LR(x, y) = 1 - LED(x, y) / (len(x) + len(y))
+//
+// where LED is the Levenshtein edit distance and the denominator is the sum
+// of the rune lengths. Two empty strings yield 1.
+func LevenshteinRatio(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(la+lb)
+}
+
+// Tokenize splits s into lowercase word tokens on any non-letter/non-digit
+// boundary. It is the tokenizer used for Jaccard, cosine, and blocking.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// TokenSet returns the set of distinct tokens of s.
+func TokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// Jaccard returns the Jaccard similarity (Eq. 4) between the token sets of
+// a and b: |A ∩ B| / |A ∪ B|. Two strings with no tokens yield 1.
+func Jaccard(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	return JaccardSets(sa, sb)
+}
+
+// JaccardSets returns the Jaccard similarity of two prebuilt token sets.
+func JaccardSets(sa, sb map[string]bool) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns the overlap coefficient |A ∩ B| / min(|A|, |B|) of the
+// token sets of a and b. Empty-versus-empty yields 1; empty-versus-nonempty
+// yields 0.
+func Overlap(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// Cosine returns the cosine similarity between the token frequency vectors
+// of a and b. Empty-versus-empty yields 1.
+func Cosine(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	fa := make(map[string]int)
+	for _, t := range ta {
+		fa[t]++
+	}
+	fb := make(map[string]int)
+	for _, t := range tb {
+		fb[t]++
+	}
+	var dot, na, nb float64
+	for t, c := range fa {
+		na += float64(c * c)
+		if cb, ok := fb[t]; ok {
+			dot += float64(c * cb)
+		}
+	}
+	for _, c := range fb {
+		nb += float64(c * c)
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+// QGrams returns the set of q-grams (length-q rune substrings) of s,
+// padded with q-1 leading and trailing '#' characters so boundary
+// characters contribute as many grams as interior ones. q must be >= 1.
+func QGrams(s string, q int) map[string]bool {
+	if q < 1 {
+		panic("strsim: q must be >= 1")
+	}
+	pad := strings.Repeat("#", q-1)
+	rs := []rune(pad + strings.ToLower(s) + pad)
+	set := make(map[string]bool)
+	for i := 0; i+q <= len(rs); i++ {
+		set[string(rs[i:i+q])] = true
+	}
+	return set
+}
+
+// QGramJaccard returns the Jaccard similarity of the q-gram sets of a and b.
+func QGramJaccard(a, b string, q int) float64 {
+	return JaccardSets(QGrams(a, q), QGrams(b, q))
+}
+
+// MongeElkan returns the Monge-Elkan hybrid similarity of a and b: for each
+// token of a, the best LevenshteinRatio against any token of b, averaged.
+// It is asymmetric; SymMongeElkan averages both directions.
+func MongeElkan(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := LevenshteinRatio(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// SymMongeElkan is the symmetric Monge-Elkan similarity: the mean of the
+// two directed scores.
+func SymMongeElkan(a, b string) float64 {
+	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,114 @@
+package strsim
+
+import "math"
+
+// TFIDFModel holds corpus document frequencies so that token overlap can
+// be weighted by informativeness: sharing a rare model number means far
+// more than sharing the word "the". Soft TF-IDF cosine over such a model
+// is a strong classical matcher feature for dirty product data.
+type TFIDFModel struct {
+	df   map[string]int
+	docs int
+}
+
+// NewTFIDFModel builds the model from a corpus of documents.
+func NewTFIDFModel(corpus []string) *TFIDFModel {
+	m := &TFIDFModel{df: make(map[string]int)}
+	for _, doc := range corpus {
+		m.Add(doc)
+	}
+	return m
+}
+
+// Add folds one document into the document-frequency table.
+func (m *TFIDFModel) Add(doc string) {
+	m.docs++
+	for tok := range TokenSet(doc) {
+		m.df[tok]++
+	}
+}
+
+// Docs returns the number of documents added.
+func (m *TFIDFModel) Docs() int { return m.docs }
+
+// IDF returns the smoothed inverse document frequency of a token:
+// ln(1 + N/(1+df)). Unknown tokens get the maximum weight.
+func (m *TFIDFModel) IDF(token string) float64 {
+	if m.docs == 0 {
+		return 1
+	}
+	return math.Log(1 + float64(m.docs)/float64(1+m.df[token]))
+}
+
+// weights returns the L2-normalized tf-idf weight map of a document.
+func (m *TFIDFModel) weights(doc string) map[string]float64 {
+	tf := make(map[string]int)
+	for _, t := range Tokenize(doc) {
+		tf[t]++
+	}
+	w := make(map[string]float64, len(tf))
+	var norm float64
+	for t, c := range tf {
+		v := float64(c) * m.IDF(t)
+		w[t] = v
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range w {
+			w[t] /= norm
+		}
+	}
+	return w
+}
+
+// Cosine returns the tf-idf-weighted cosine similarity of two documents
+// under the model. Two empty documents score 1.
+func (m *TFIDFModel) Cosine(a, b string) float64 {
+	wa, wb := m.weights(a), m.weights(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	var dot float64
+	for t, va := range wa {
+		if vb, ok := wb[t]; ok {
+			dot += va * vb
+		}
+	}
+	return dot
+}
+
+// SoftCosine returns the Soft TF-IDF similarity of Cohen et al.: tokens
+// of a are matched to their most similar token of b under LevenshteinRatio
+// with a secondary-similarity threshold, and the matched weight products
+// are accumulated. This tolerates typos inside informative tokens that
+// exact-token cosine misses.
+func (m *TFIDFModel) SoftCosine(a, b string, threshold float64) float64 {
+	wa, wb := m.weights(a), m.weights(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	var sum float64
+	for ta, va := range wa {
+		bestSim, bestTok := 0.0, ""
+		for tb := range wb {
+			if s := LevenshteinRatio(ta, tb); s > bestSim {
+				bestSim, bestTok = s, tb
+			}
+		}
+		if bestSim >= threshold {
+			sum += va * wb[bestTok] * bestSim
+		}
+	}
+	return clamp01(sum)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

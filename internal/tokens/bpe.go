@@ -1,0 +1,148 @@
+package tokens
+
+import (
+	"sort"
+	"strings"
+)
+
+// BPE is a byte-pair-encoding tokenizer trained on a corpus: the classic
+// algorithm behind GPT tokenizers. Training learns merge rules over
+// character pairs by frequency; encoding greedily applies them. A BPE
+// trained on the target tables gives tighter token counts (and therefore
+// cost estimates) than the generic Counter for domain-heavy text like
+// product catalogs.
+type BPE struct {
+	// merges maps a candidate pair "a b" to its merge priority
+	// (lower = earlier-learned = applied first).
+	merges map[[2]string]int
+	// vocab is the set of known tokens after training.
+	vocab map[string]bool
+}
+
+// TrainBPE learns numMerges merge rules from the corpus documents.
+func TrainBPE(corpus []string, numMerges int) *BPE {
+	b := &BPE{merges: make(map[[2]string]int), vocab: make(map[string]bool)}
+	// Word frequency table; words are symbol sequences starting as runes
+	// with an end-of-word marker so suffixes can merge distinctly.
+	type word struct {
+		symbols []string
+		count   int
+	}
+	freq := make(map[string]int)
+	for _, doc := range corpus {
+		for _, w := range strings.Fields(strings.ToLower(doc)) {
+			freq[w]++
+		}
+	}
+	words := make([]word, 0, len(freq))
+	keys := make([]string, 0, len(freq))
+	for w := range freq {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys) // deterministic training
+	for _, w := range keys {
+		syms := make([]string, 0, len(w)+1)
+		for _, r := range w {
+			syms = append(syms, string(r))
+			b.vocab[string(r)] = true
+		}
+		syms = append(syms, "</w>")
+		words = append(words, word{symbols: syms, count: freq[w]})
+	}
+	for m := 0; m < numMerges; m++ {
+		// Count all adjacent pairs.
+		pairCount := make(map[[2]string]int)
+		for _, w := range words {
+			for i := 0; i+1 < len(w.symbols); i++ {
+				pairCount[[2]string{w.symbols[i], w.symbols[i+1]}] += w.count
+			}
+		}
+		if len(pairCount) == 0 {
+			break
+		}
+		// Most frequent pair; deterministic tie-break on the pair text.
+		var best [2]string
+		bestN := -1
+		for p, n := range pairCount {
+			if n > bestN || (n == bestN && pairLess(p, best)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // nothing worth merging
+		}
+		b.merges[best] = m
+		merged := best[0] + best[1]
+		b.vocab[merged] = true
+		// Apply the merge to every word.
+		for wi := range words {
+			syms := words[wi].symbols
+			out := syms[:0]
+			i := 0
+			for i < len(syms) {
+				if i+1 < len(syms) && syms[i] == best[0] && syms[i+1] == best[1] {
+					out = append(out, merged)
+					i += 2
+				} else {
+					out = append(out, syms[i])
+					i++
+				}
+			}
+			words[wi].symbols = out
+		}
+	}
+	return b
+}
+
+func pairLess(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// NumMerges returns the number of learned merge rules.
+func (b *BPE) NumMerges() int { return len(b.merges) }
+
+// EncodeWord tokenizes one lowercase word by applying learned merges in
+// priority order.
+func (b *BPE) EncodeWord(w string) []string {
+	syms := make([]string, 0, len(w)+1)
+	for _, r := range w {
+		syms = append(syms, string(r))
+	}
+	syms = append(syms, "</w>")
+	for {
+		// Find the highest-priority applicable merge.
+		bestIdx, bestPri := -1, int(^uint(0)>>1)
+		for i := 0; i+1 < len(syms); i++ {
+			if pri, ok := b.merges[[2]string{syms[i], syms[i+1]}]; ok && pri < bestPri {
+				bestIdx, bestPri = i, pri
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		merged := syms[bestIdx] + syms[bestIdx+1]
+		syms = append(syms[:bestIdx+1], syms[bestIdx+2:]...)
+		syms[bestIdx] = merged
+	}
+	// Drop the bare end-of-word marker if it survived unmerged.
+	out := syms[:0]
+	for _, s := range syms {
+		if s == "</w>" {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(s, "</w>"))
+	}
+	return out
+}
+
+// Count returns the BPE token count of s.
+func (b *BPE) Count(s string) int {
+	n := 0
+	for _, w := range strings.Fields(strings.ToLower(s)) {
+		n += len(b.EncodeWord(w))
+	}
+	return n
+}

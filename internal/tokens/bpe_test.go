@@ -1,0 +1,114 @@
+package tokens
+
+import (
+	"strings"
+	"testing"
+)
+
+func productCorpus() []string {
+	return []string{
+		"apple iphone 13 pro smartphone", "apple iphone 12 smartphone",
+		"apple iphone 13 mini smartphone", "samsung galaxy smartphone",
+		"apple macbook pro laptop", "apple macbook air laptop",
+		"samsung galaxy tab tablet", "apple iphone case accessory",
+		"apple iphone charger accessory", "samsung galaxy charger",
+	}
+}
+
+func TestTrainBPELearnsMerges(t *testing.T) {
+	b := TrainBPE(productCorpus(), 50)
+	if b.NumMerges() == 0 {
+		t.Fatal("no merges learned")
+	}
+	// "apple" appears 7 times: it should encode to very few tokens.
+	n := len(b.EncodeWord("apple"))
+	if n > 2 {
+		t.Errorf("EncodeWord(apple) = %d tokens, want <= 2 after training", n)
+	}
+}
+
+func TestBPEFrequentWordsCheaper(t *testing.T) {
+	b := TrainBPE(productCorpus(), 80)
+	frequent := len(b.EncodeWord("iphone"))
+	rare := len(b.EncodeWord("xylophone"))
+	if frequent >= rare {
+		t.Errorf("frequent word %d tokens vs rare %d; training had no effect", frequent, rare)
+	}
+}
+
+func TestBPEEncodeReassembles(t *testing.T) {
+	b := TrainBPE(productCorpus(), 50)
+	for _, w := range []string{"apple", "smartphone", "unseen", "galaxy"} {
+		toks := b.EncodeWord(w)
+		if joined := strings.Join(toks, ""); joined != w {
+			t.Errorf("EncodeWord(%q) pieces %v reassemble to %q", w, toks, joined)
+		}
+	}
+}
+
+func TestBPEDeterministicTraining(t *testing.T) {
+	a := TrainBPE(productCorpus(), 40)
+	b := TrainBPE(productCorpus(), 40)
+	if a.NumMerges() != b.NumMerges() {
+		t.Fatal("merge counts differ")
+	}
+	for w := range a.merges {
+		if a.merges[w] != b.merges[w] {
+			t.Fatal("merge priorities differ between identical trainings")
+		}
+	}
+}
+
+func TestBPECount(t *testing.T) {
+	b := TrainBPE(productCorpus(), 80)
+	full := b.Count("apple iphone 13 pro smartphone")
+	if full == 0 {
+		t.Fatal("zero tokens")
+	}
+	// Trained BPE should beat the generic counter on in-domain text.
+	generic := Count("apple iphone 13 pro smartphone")
+	if full > generic+2 {
+		t.Errorf("trained BPE count %d should not exceed generic %d by much", full, generic)
+	}
+	if got := b.Count(""); got != 0 {
+		t.Errorf("Count(empty) = %d", got)
+	}
+}
+
+func TestTrainBPEZeroMerges(t *testing.T) {
+	b := TrainBPE(productCorpus(), 0)
+	if b.NumMerges() != 0 {
+		t.Errorf("merges = %d", b.NumMerges())
+	}
+	// Without merges every character is a token.
+	if got := len(b.EncodeWord("abc")); got != 3 {
+		t.Errorf("unmerged encode = %d tokens, want 3", got)
+	}
+}
+
+func TestTrainBPEEmptyCorpus(t *testing.T) {
+	b := TrainBPE(nil, 10)
+	if b.NumMerges() != 0 {
+		t.Errorf("merges from empty corpus = %d", b.NumMerges())
+	}
+	if got := b.Count("hello"); got != 5 {
+		t.Errorf("untrained count = %d, want character-level 5", got)
+	}
+}
+
+func TestTrainBPEStopsWhenNothingRepeats(t *testing.T) {
+	// Singleton words with unique characters: no pair reaches count 2.
+	b := TrainBPE([]string{"abc", "def", "ghi"}, 100)
+	if b.NumMerges() != 0 {
+		t.Errorf("merges on non-repeating corpus = %d", b.NumMerges())
+	}
+}
+
+func BenchmarkBPEEncode(b *testing.B) {
+	bpe := TrainBPE(productCorpus(), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bpe.Count("apple iphone 13 pro max smartphone with charger accessory")
+	}
+}
