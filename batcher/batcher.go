@@ -14,7 +14,16 @@
 //	m := batcher.New(client,
 //		batcher.WithBatching(batcher.DiversityBatching),
 //		batcher.WithSelection(batcher.CoveringSelection))
-//	res, err := m.Match(questions, pool)
+//	res, err := m.Match(ctx, questions, pool)
+//
+// For incremental consumption, MatchStream yields each batch's
+// predictions and cost delta as it completes:
+//
+//	stream, err := m.MatchStream(ctx, questions, pool)
+//	for br := range stream.All() {
+//		fmt.Println(br.Index, br.Pred, br.Ledger.API())
+//	}
+//	err = stream.Err()
 //
 // The package re-exports the domain types a caller needs (Record, Pair,
 // Dataset, strategies), so downstream users never import internal
@@ -22,6 +31,8 @@
 package batcher
 
 import (
+	"context"
+
 	"batcher/internal/blocking"
 	"batcher/internal/core"
 	"batcher/internal/cost"
@@ -49,6 +60,13 @@ type (
 	Split = entity.Split
 	// Result is the outcome of a Match call.
 	Result = core.Result
+	// Stream is an in-flight MatchStream resolution.
+	Stream = core.Stream
+	// BatchResult is one completed batch yielded by a Stream.
+	BatchResult = core.BatchResult
+	// BatchError is the typed mid-run failure: the first batch that did
+	// not complete plus the underlying cause (possibly ctx.Err()).
+	BatchError = core.BatchError
 	// Config is the full framework configuration.
 	Config = core.Config
 	// BatchStrategy selects the question batching method.
@@ -103,50 +121,51 @@ func SplitPairs(pairs []Pair) Split { return entity.SplitPairs(pairs) }
 // WithoutLabels strips gold labels, producing an unlabeled pool.
 func WithoutLabels(pairs []Pair) []Pair { return entity.WithoutLabels(pairs) }
 
-// Option configures a Matcher.
-type Option func(*core.Config)
+// Option configures a Matcher. It is the same functional option type the
+// core framework consumes, so facade and core options compose freely.
+type Option = core.Option
 
 // WithBatchSize sets questions per prompt (default 8; 1 = standard
 // prompting).
-func WithBatchSize(n int) Option { return func(c *core.Config) { c.BatchSize = n } }
+func WithBatchSize(n int) Option { return core.WithBatchSize(n) }
 
 // WithNumDemos sets the per-batch demonstration budget (default 8).
-func WithNumDemos(n int) Option { return func(c *core.Config) { c.NumDemos = n } }
+func WithNumDemos(n int) Option { return core.WithNumDemos(n) }
 
 // WithBatching sets the question batching strategy.
-func WithBatching(b BatchStrategy) Option { return func(c *core.Config) { c.Batching = b } }
+func WithBatching(b BatchStrategy) Option { return core.WithBatching(b) }
 
 // WithSelection sets the demonstration selection strategy.
-func WithSelection(s SelectStrategy) Option { return func(c *core.Config) { c.Selection = s } }
+func WithSelection(s SelectStrategy) Option { return core.WithSelection(s) }
 
 // WithModel sets the underlying LLM by registry name.
-func WithModel(name string) Option { return func(c *core.Config) { c.Model = name } }
+func WithModel(name string) Option { return core.WithModel(name) }
 
 // WithSeed fixes all randomized steps for reproducibility.
-func WithSeed(seed int64) Option { return func(c *core.Config) { c.Seed = seed } }
+func WithSeed(seed int64) Option { return core.WithSeed(seed) }
 
 // WithLRFeatures selects the structure-aware Levenshtein-ratio extractor
 // (default, the paper's BATCHER-LR).
-func WithLRFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewLR() } }
+func WithLRFeatures() Option { return core.WithExtractor(feature.NewLR()) }
 
 // WithJaccardFeatures selects the structure-aware Jaccard extractor
 // (BATCHER-JAC).
-func WithJaccardFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewJAC() } }
+func WithJaccardFeatures() Option { return core.WithExtractor(feature.NewJAC()) }
 
 // WithSemanticFeatures selects the semantics-based embedding extractor
 // (BATCHER-SEM).
-func WithSemanticFeatures() Option { return func(c *core.Config) { c.Extractor = feature.NewSEM() } }
+func WithSemanticFeatures() Option { return core.WithExtractor(feature.NewSEM()) }
 
 // WithCoverPercentile sets the covering threshold percentile (default
 // 0.08, the paper's 8th percentile).
-func WithCoverPercentile(p float64) Option { return func(c *core.Config) { c.CoverPercentile = p } }
+func WithCoverPercentile(p float64) Option { return core.WithCoverPercentile(p) }
 
 // WithTemperature sets the sampling temperature (default 0.01).
-func WithTemperature(t float64) Option { return func(c *core.Config) { c.Temperature = t } }
+func WithTemperature(t float64) Option { return core.WithTemperature(t) }
 
 // WithJSONAnswers requests structured JSON replies from the LLM instead
 // of the paper's free-text format (an extension; parsing accepts both).
-func WithJSONAnswers() Option { return func(c *core.Config) { c.JSONAnswers = true } }
+func WithJSONAnswers() Option { return core.WithJSONAnswers() }
 
 // Matcher is a configured BATCHER instance.
 type Matcher struct {
@@ -157,19 +176,15 @@ type Matcher struct {
 // (batch size 8, diversity batching, covering selection, LR features,
 // GPT-3.5-turbo-0301, temperature 0.01).
 func New(client Client, opts ...Option) *Matcher {
-	cfg := core.Config{
-		Batching:  DiversityBatching,
-		Selection: CoveringSelection,
-	}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	return &Matcher{fw: core.New(cfg, client)}
+	all := make([]Option, 0, len(opts)+2)
+	all = append(all, WithBatching(DiversityBatching), WithSelection(CoveringSelection))
+	all = append(all, opts...)
+	return &Matcher{fw: core.New(client, all...)}
 }
 
 // NewWithConfig builds a Matcher from an explicit Config.
 func NewWithConfig(client Client, cfg Config) *Matcher {
-	return &Matcher{fw: core.New(cfg, client)}
+	return &Matcher{fw: core.NewFromConfig(client, cfg)}
 }
 
 // Config returns the effective configuration.
@@ -178,8 +193,22 @@ func (m *Matcher) Config() Config { return m.fw.Config() }
 // Match resolves every question pair using batch prompting, drawing
 // demonstrations from pool. Pool pairs may carry gold labels; the Matcher
 // reads one only when it annotates that pair, and bills each annotation.
-func (m *Matcher) Match(questions, pool []Pair) (*Result, error) {
-	return m.fw.Resolve(questions, pool)
+//
+// Cancelling ctx stops the run between batch calls; Match then returns
+// the partial Result accumulated so far together with a *BatchError
+// wrapping ctx's error. Failures before the first batch starts (setup
+// errors, a pre-cancelled ctx) return a nil Result and a bare error, so
+// check the Result for nil before reading partial predictions.
+func (m *Matcher) Match(ctx context.Context, questions, pool []Pair) (*Result, error) {
+	return m.fw.Resolve(ctx, questions, pool)
+}
+
+// MatchStream starts a resolution and returns a Stream yielding each
+// batch's predictions, token usage, and cost delta as it completes, in
+// deterministic batch order. Consume it with Next or All, then check
+// Err; abandoning a stream requires Close.
+func (m *Matcher) MatchStream(ctx context.Context, questions, pool []Pair) (*Stream, error) {
+	return m.fw.ResolveStream(ctx, questions, pool)
 }
 
 // Score computes the confusion matrix of predictions against the gold

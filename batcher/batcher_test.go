@@ -1,6 +1,8 @@
 package batcher
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +26,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		WithBatching(DiversityBatching),
 		WithSelection(CoveringSelection),
 		WithSeed(1))
-	res, err := m.Match(questions, pool)
+	res, err := m.Match(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,5 +179,47 @@ func TestNewWithConfig(t *testing.T) {
 	m := NewWithConfig(NewSimulatedClient(nil, 1), Config{BatchSize: 2})
 	if m.Config().BatchSize != 2 {
 		t.Errorf("cfg = %+v", m.Config())
+	}
+}
+
+func TestMatchStreamYieldsIncrementally(t *testing.T) {
+	questions, pool := loadSmall(t)
+	client := NewSimulatedClient(append(append([]Pair(nil), questions...), pool...), 1)
+	m := New(client, WithSeed(1))
+	stream, err := m.MatchStream(context.Background(), questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Batches()) < 2 {
+		t.Fatalf("only %d batches", len(stream.Batches()))
+	}
+	seen := 0
+	var ledger = stream.DemosLabeled()
+	for br := range stream.All() {
+		if br.Index != seen {
+			t.Errorf("batch %d arrived at position %d", br.Index, seen)
+		}
+		seen++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(stream.Batches()) {
+		t.Errorf("yielded %d of %d batches", seen, len(stream.Batches()))
+	}
+	if ledger <= 0 {
+		t.Error("no demos annotated")
+	}
+}
+
+func TestMatchContextCancelReturnsBatchError(t *testing.T) {
+	questions, pool := loadSmall(t)
+	client := NewSimulatedClient(append(append([]Pair(nil), questions...), pool...), 1)
+	m := New(client, WithSeed(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.Match(ctx, questions, pool)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package batcher
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -25,7 +26,7 @@ func TestEstimateCostMatchesActualBand(t *testing.T) {
 	// demo allocation).
 	client := NewSimulatedClient(append(append([]Pair(nil), questions...), split.Train...), 1)
 	m := New(client, WithSeed(1))
-	res, err := m.Match(questions, split.Train)
+	res, err := m.Match(context.Background(), questions, split.Train)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package batcher
 
 import (
+	"context"
+
 	"batcher/internal/blocking"
 	"batcher/internal/core"
 	"batcher/internal/llm"
@@ -34,7 +36,8 @@ type PipelineReport = pipeline.Report
 type PipelineMatch = pipeline.Match
 
 // RunPipeline blocks the two tables and matches the candidates.
-func RunPipeline(cfg PipelineConfig, client Client, tableA, tableB []Record) (*PipelineReport, error) {
+// Cancelling ctx aborts the matching stage between LLM calls.
+func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA, tableB []Record) (*PipelineReport, error) {
 	var blocker blocking.Blocker
 	minShared := cfg.MinSharedTokens
 	if minShared <= 0 {
@@ -49,7 +52,7 @@ func RunPipeline(cfg PipelineConfig, client Client, tableA, tableB []Record) (*P
 	for _, opt := range cfg.Matcher {
 		opt(&mcfg)
 	}
-	return pipeline.Run(pipeline.Config{
+	return pipeline.Run(ctx, pipeline.Config{
 		Blocker:       blocker,
 		Matcher:       mcfg,
 		Pool:          cfg.Pool,
@@ -59,7 +62,7 @@ func RunPipeline(cfg PipelineConfig, client Client, tableA, tableB []Record) (*P
 
 // WithParallelism dispatches up to n batch prompts concurrently. Results
 // are identical to sequential execution; only wall-clock changes.
-func WithParallelism(n int) Option { return func(c *core.Config) { c.Parallelism = n } }
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
 
 // NewCachedClient wraps any client with an LRU response cache: repeated
 // identical prompts are served locally and bill zero tokens.

@@ -1,6 +1,9 @@
 package batcher
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunPipelinePublic(t *testing.T) {
 	ds, err := LoadBenchmark("Beer", 1)
@@ -9,7 +12,7 @@ func TestRunPipelinePublic(t *testing.T) {
 	}
 	split := SplitPairs(ds.Pairs)
 	client := NewSimulatedClient(ds.Pairs, 1)
-	rep, err := RunPipeline(PipelineConfig{
+	rep, err := RunPipeline(context.Background(), PipelineConfig{
 		BlockAttr:       "beer_name",
 		MinSharedTokens: 2,
 		Pool:            split.Train,
@@ -29,7 +32,7 @@ func TestRunPipelinePublic(t *testing.T) {
 func TestRunPipelineMinHash(t *testing.T) {
 	ds, _ := LoadBenchmark("Beer", 2)
 	client := NewSimulatedClient(ds.Pairs, 1)
-	rep, err := RunPipeline(PipelineConfig{
+	rep, err := RunPipeline(context.Background(), PipelineConfig{
 		BlockAttr:  "beer_name",
 		UseMinHash: true,
 	}, client, ds.TableA[:60], ds.TableB[:60])
@@ -44,7 +47,7 @@ func TestRunPipelineMinHash(t *testing.T) {
 func TestRunPipelineCandidateGuard(t *testing.T) {
 	ds, _ := LoadBenchmark("Beer", 1)
 	client := NewSimulatedClient(nil, 1)
-	if _, err := RunPipeline(PipelineConfig{MaxCandidates: 1}, client, ds.TableA[:50], ds.TableB[:50]); err == nil {
+	if _, err := RunPipeline(context.Background(), PipelineConfig{MaxCandidates: 1}, client, ds.TableA[:50], ds.TableB[:50]); err == nil {
 		t.Error("candidate guard not applied")
 	}
 }
@@ -56,13 +59,13 @@ func TestCachedClientPublic(t *testing.T) {
 	inner := NewSimulatedClient(ds.Pairs, 1)
 	cached := NewCachedClient(inner, 100)
 	m1 := New(cached, WithSeed(1))
-	r1, err := m1.Match(qs, split.Train)
+	r1, err := m1.Match(context.Background(), qs, split.Train)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second identical run: all prompts served from cache, zero API cost.
 	m2 := New(cached, WithSeed(1))
-	r2, err := m2.Match(qs, split.Train)
+	r2, err := m2.Match(context.Background(), qs, split.Train)
 	if err != nil {
 		t.Fatal(err)
 	}

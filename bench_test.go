@@ -10,6 +10,7 @@
 package repro_bench
 
 import (
+	"context"
 	"testing"
 
 	"batcher/internal/cluster"
@@ -211,8 +212,8 @@ func ablationWorkload(b *testing.B, name string, qcap int) ([]entity.Pair, []ent
 func runConfig(b *testing.B, cfg core.Config, qs, pool []entity.Pair, oracle llm.MapOracle) (metrics.Confusion, *core.Result) {
 	b.Helper()
 	cfg.Seed = 1
-	f := core.New(cfg, llm.NewSimulated(oracle, 1))
-	res, err := f.Resolve(qs, pool)
+	f := core.NewFromConfig(llm.NewSimulated(oracle, 1), cfg)
+	res, err := f.Resolve(context.Background(), qs, pool)
 	if err != nil {
 		b.Fatal(err)
 	}

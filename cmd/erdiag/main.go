@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -39,8 +40,8 @@ func main() {
 				cfg.BatchSize = 8
 				cfg.Batching = core.RandomBatching
 			}
-			f := core.New(cfg, llm.NewSimulated(oracle, 1))
-			res, err := f.Resolve(qs, pool)
+			f := core.NewFromConfig(llm.NewSimulated(oracle, 1), cfg)
+			res, err := f.Resolve(context.Background(), qs, pool)
 			if err != nil {
 				panic(err)
 			}

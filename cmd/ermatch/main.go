@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"batcher/batcher"
 )
@@ -58,12 +60,31 @@ func main() {
 	} else {
 		client = batcher.NewSimulatedClient(nil, *seed)
 	}
+	// Ctrl-C cancels the run between batch calls; whatever matched so
+	// far is still written out below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	m := batcher.New(client, batcher.WithModel(*model), batcher.WithSeed(*seed))
 	// Without labeled data the candidates double as the demonstration
 	// pool; annotation defaults to the majority class.
-	res, err := m.Match(candidates, candidates)
+	stream, err := m.MatchStream(ctx, candidates, candidates)
 	if err != nil {
 		fatal(err)
+	}
+	res := stream.NewResult()
+	total := len(stream.Batches())
+	for br := range stream.All() {
+		res.Apply(br)
+		fmt.Fprintf(os.Stderr, "\rermatch: batch %d/%d  api=$%.3f", br.Index+1, total, res.Ledger.API())
+	}
+	// The run is over; restore default SIGINT handling so a second
+	// Ctrl-C can still kill the process during the CSV write below.
+	stop()
+	fmt.Fprintln(os.Stderr)
+	runErr := stream.Err()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ermatch: run stopped early: %v (writing partial matches)\n", runErr)
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %s\n", res.Ledger.String())
 
@@ -95,6 +116,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates matched\n", matches, len(candidates))
+	if runErr != nil {
+		// The partial CSV is on disk, but scripted callers must not
+		// mistake a truncated run for a complete one.
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

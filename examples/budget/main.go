@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	budget := flag.Float64("budget", 2.50, "total budget in dollars for the full workload")
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 		for _, s := range []batcher.SelectStrategy{batcher.FixedSelection, batcher.TopKBatch, batcher.TopKQuestion, batcher.CoveringSelection} {
 			m := batcher.New(batcher.NewSimulatedClient(labeled, 11),
 				batcher.WithBatching(b), batcher.WithSelection(s), batcher.WithSeed(11))
-			res, err := m.Match(valid, pool)
+			res, err := m.Match(ctx, valid, pool)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -81,7 +83,7 @@ func main() {
 	labeledFull := append(append([]batcher.Pair(nil), full...), pool...)
 	m := batcher.New(batcher.NewSimulatedClient(labeledFull, 11),
 		batcher.WithBatching(best.b), batcher.WithSelection(best.s), batcher.WithSeed(11))
-	res, err := m.Match(full, pool)
+	res, err := m.Match(ctx, full, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

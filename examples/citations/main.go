@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, err := batcher.LoadBenchmark("DA", 1)
 	if err != nil {
 		log.Fatal(err)
@@ -33,7 +35,7 @@ func main() {
 		batcher.WithBatchSize(1),
 		batcher.WithSelection(batcher.FixedSelection),
 		batcher.WithSeed(3))
-	stdRes, err := std.Match(questions, pool)
+	stdRes, err := std.Match(ctx, questions, pool)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 		batcher.WithBatching(batcher.DiversityBatching),
 		batcher.WithSelection(batcher.CoveringSelection),
 		batcher.WithSeed(3))
-	bpRes, err := bp.Match(questions, pool)
+	bpRes, err := bp.Match(ctx, questions, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

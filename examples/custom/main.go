@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A movie-matching benchmark: titles from a small vocabulary, a
 	// director attribute that hard negatives share (same director's other
 	// films are the confusable cases), and a numeric year.
@@ -56,7 +58,7 @@ func main() {
 	// Run for real against the simulator and compare.
 	client := batcher.NewSimulatedClient(ds.Pairs, 1)
 	m := batcher.New(client, batcher.WithSeed(1))
-	res, err := m.Match(questions, pool)
+	res, err := m.Match(ctx, questions, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

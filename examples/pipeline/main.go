@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "batcher-pipeline")
 	if err != nil {
 		log.Fatal(err)
@@ -51,7 +53,7 @@ func main() {
 
 	split := batcher.SplitPairs(ds.Pairs)
 	client := batcher.NewSimulatedClient(ds.Pairs, 1)
-	rep, err := batcher.RunPipeline(batcher.PipelineConfig{
+	rep, err := batcher.RunPipeline(ctx, batcher.PipelineConfig{
 		BlockAttr:  "name",
 		UseMinHash: true,
 		Pool:       split.Train,

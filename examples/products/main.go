@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, err := batcher.LoadBenchmark("WA", 1)
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +50,7 @@ func main() {
 				batcher.WithSelection(s),
 				batcher.WithSeed(7),
 			)
-			res, err := m.Match(questions, pool)
+			res, err := m.Match(ctx, questions, pool)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A tiny labeled benchmark: the Beer clone from the paper's Table II.
 	ds, err := batcher.LoadBenchmark("Beer", 1)
 	if err != nil {
@@ -33,7 +35,7 @@ func main() {
 		batcher.WithSelection(batcher.CoveringSelection),
 		batcher.WithSeed(1),
 	)
-	res, err := m.Match(questions, pool)
+	res, err := m.Match(ctx, questions, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

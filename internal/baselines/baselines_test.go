@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"batcher/internal/datagen"
@@ -137,7 +138,7 @@ func TestManualPromptRun(t *testing.T) {
 	oracle := llm.BuildOracle(append(append([]entity.Pair(nil), questions...), s.Train...))
 	client := llm.NewSimulated(oracle, 1)
 	mp := &ManualPrompt{}
-	res, err := mp.Run(questions, s.Train, client)
+	res, err := mp.Run(context.Background(), questions, s.Train, client)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestKCenterSpread(t *testing.T) {
 
 func TestManualPromptUnknownModel(t *testing.T) {
 	mp := &ManualPrompt{Model: "bogus"}
-	if _, err := mp.Run(nil, nil, llm.NewSimulated(nil, 1)); err == nil {
+	if _, err := mp.Run(context.Background(), nil, nil, llm.NewSimulated(nil, 1)); err == nil {
 		t.Error("unknown model should fail")
 	}
 }

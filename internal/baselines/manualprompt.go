@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,8 +37,9 @@ type Result struct {
 }
 
 // Run answers each question with standard prompting. reference supplies
-// the labeled pairs the expert curates demonstrations from.
-func (m *ManualPrompt) Run(questions, reference []entity.Pair, client llm.Client) (*Result, error) {
+// the labeled pairs the expert curates demonstrations from. Cancellation
+// is checked between questions and aborts the run with ctx's error.
+func (m *ManualPrompt) Run(ctx context.Context, questions, reference []entity.Pair, client llm.Client) (*Result, error) {
 	model, err := llm.Lookup(m.modelName())
 	if err != nil {
 		return nil, err
@@ -53,8 +55,11 @@ func (m *ManualPrompt) Run(questions, reference []entity.Pair, client llm.Client
 		temp = 0.01
 	}
 	for i, q := range questions {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baselines: question %d: %w", i, err)
+		}
 		p := prompt.Build(desc, demos, []entity.Pair{q})
-		resp, err := client.Complete(llm.Request{Model: model.Name, Prompt: p.Text, Temperature: temp})
+		resp, err := client.Complete(ctx, llm.Request{Model: model.Name, Prompt: p.Text, Temperature: temp})
 		if err != nil {
 			return nil, fmt.Errorf("baselines: question %d: %w", i, err)
 		}

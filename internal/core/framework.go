@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"batcher/internal/cost"
 	"batcher/internal/entity"
@@ -18,8 +18,21 @@ type Framework struct {
 	client llm.Client
 }
 
-// New returns a Framework with defaults applied.
-func New(cfg Config, client llm.Client) *Framework {
+// New returns a Framework over client with the given options applied on
+// top of the paper's defaults. With no options it is equivalent to
+// NewFromConfig(client, Config{}).
+func New(client llm.Client, opts ...Option) *Framework {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(client, cfg)
+}
+
+// NewFromConfig returns a Framework from an explicit Config (the internal
+// resolved form of the functional options), with defaults applied. It
+// exists for callers that sweep or serialize configurations.
+func NewFromConfig(client llm.Client, cfg Config) *Framework {
 	return &Framework{cfg: cfg.applyDefaults(), client: client}
 }
 
@@ -44,13 +57,67 @@ type Result struct {
 	TrimmedDemos int
 }
 
+// Apply folds one completed batch into the result: predictions, API
+// cost, token and trim counters. Pair it with Stream.NewResult to
+// accumulate a streaming run incrementally.
+func (r *Result) Apply(br BatchResult) {
+	for i, qi := range br.Questions {
+		r.Pred[qi] = br.Pred[i]
+	}
+	r.Ledger.Merge(&br.Ledger)
+	r.PromptTokens += br.InputTokens
+	r.TrimmedDemos += br.TrimmedDemos
+}
+
 // Resolve answers every question using batch prompting over the unlabeled
 // demonstration pool. The pool pairs carry hidden gold labels (Truth);
 // the framework reads a label only when it "annotates" the pair, and each
 // annotation is charged to the ledger once.
-func (f *Framework) Resolve(questions, pool []entity.Pair) (*Result, error) {
+//
+// Resolve is ResolveStream fully consumed: on mid-run failure (including
+// ctx cancellation) it returns the partial Result accumulated so far
+// together with a *BatchError wrapping the cause. The partial Result
+// covers every batch below BatchError.Batch — sequentially that is every
+// batch that completed; under parallelism, completions beyond the first
+// failed batch cannot be delivered in order and are dropped, so real API
+// spend can exceed the partial ledger by those in-flight calls.
+// Setup-phase failures — a cancelled ctx before any batch started, an
+// unknown model, a broken partition — return a nil Result and a bare
+// error instead, so check the Result for nil (or errors.As for
+// *BatchError) before reading partial predictions.
+func (f *Framework) Resolve(ctx context.Context, questions, pool []entity.Pair) (*Result, error) {
+	stream, err := f.ResolveStream(ctx, questions, pool)
+	if err != nil {
+		return nil, err
+	}
+	res := stream.NewResult()
+	for br := range stream.All() {
+		res.Apply(br)
+	}
+	if err := stream.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ResolveStream starts a resolution and returns a Stream yielding each
+// batch's predictions, token usage, and cost delta as it completes, in
+// deterministic ascending batch order. Setup failures (bad model, broken
+// partition) surface as the returned error; mid-run failures surface on
+// Stream.Err after exhaustion. Cancelling ctx stops the run between LLM
+// calls and aborts in-flight HTTP requests on live clients.
+func (f *Framework) ResolveStream(ctx context.Context, questions, pool []entity.Pair) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := &Stream{ch: make(chan BatchResult)}
 	if len(questions) == 0 {
-		return &Result{}, nil
+		st.cancel = func() {}
+		close(st.ch)
+		return st, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cfg := f.cfg
 	qVecs := feature.ExtractAll(cfg.Extractor, questions)
@@ -61,95 +128,28 @@ func (f *Framework) Resolve(questions, pool []entity.Pair) (*Result, error) {
 		return nil, err
 	}
 	sel := selectDemos(cfg, batches, qVecs, dVecs, pool)
-
-	res := &Result{
-		Pred:         make([]entity.Label, len(questions)),
-		Batches:      batches,
-		DemosLabeled: len(sel.labeled),
-	}
-	for i := range res.Pred {
-		res.Pred[i] = entity.Unknown
-	}
-	// Annotation happens up front, as in Figure 2's "Manual Labeling".
-	res.Ledger.AddLabels(len(sel.labeled))
-
 	model, err := llm.Lookup(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Parallelism > 1 {
-		if err := f.resolveParallel(model, batches, sel, questions, pool, res); err != nil {
-			return nil, err
-		}
-		return res, nil
-	}
-	for bi, batch := range batches {
-		demos := f.annotate(pool, sel.perBatch[bi])
-		qs := make([]entity.Pair, len(batch))
-		for i, qi := range batch {
-			qs[i] = questions[qi]
-		}
-		resp, trimmed, err := f.callWithTrim(model, demos, qs)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch %d: %w", bi, err)
-		}
-		res.TrimmedDemos += trimmed
-		res.Ledger.AddCall(model.Pricing, resp.InputTokens, resp.OutputTokens)
-		res.PromptTokens += resp.InputTokens
-		labels := prompt.ParseAnswersAny(resp.Completion, len(qs))
-		for i, qi := range batch {
-			res.Pred[qi] = labels[i]
-		}
-	}
-	return res, nil
-}
 
-// resolveParallel runs batch prompts through a bounded worker pool.
-// Results are merged deterministically: each worker owns disjoint
-// question indices and a private ledger, merged after the wait.
-func (f *Framework) resolveParallel(model llm.Model, batches Batches, sel selection, questions, pool []entity.Pair, res *Result) error {
-	type outcome struct {
-		bi      int
-		resp    llm.Response
-		trimmed int
-		err     error
+	runCtx, cancel := context.WithCancel(ctx)
+	st.batches = batches
+	st.demosLabeled = len(sel.labeled)
+	st.cancel = cancel
+
+	// Never spawn more workers than batches: a small run under high
+	// parallelism would otherwise park idle goroutines on the jobs channel.
+	workers := cfg.Parallelism
+	if workers > len(batches) {
+		workers = len(batches)
 	}
-	jobs := make(chan int)
-	outcomes := make([]outcome, len(batches))
-	var wg sync.WaitGroup
-	for w := 0; w < f.cfg.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for bi := range jobs {
-				demos := f.annotate(pool, sel.perBatch[bi])
-				qs := make([]entity.Pair, len(batches[bi]))
-				for i, qi := range batches[bi] {
-					qs[i] = questions[qi]
-				}
-				resp, trimmed, err := f.callWithTrim(model, demos, qs)
-				outcomes[bi] = outcome{bi: bi, resp: resp, trimmed: trimmed, err: err}
-			}
-		}()
+	if workers <= 1 {
+		go st.runSequential(runCtx, f, model, batches, sel, questions, pool)
+	} else {
+		go st.runParallel(runCtx, f, model, batches, sel, questions, pool, workers)
 	}
-	for bi := range batches {
-		jobs <- bi
-	}
-	close(jobs)
-	wg.Wait()
-	for bi, out := range outcomes {
-		if out.err != nil {
-			return fmt.Errorf("core: batch %d: %w", bi, out.err)
-		}
-		res.TrimmedDemos += out.trimmed
-		res.Ledger.AddCall(model.Pricing, out.resp.InputTokens, out.resp.OutputTokens)
-		res.PromptTokens += out.resp.InputTokens
-		labels := prompt.ParseAnswersAny(out.resp.Completion, len(batches[bi]))
-		for i, qi := range batches[bi] {
-			res.Pred[qi] = labels[i]
-		}
-	}
-	return nil
+	return st, nil
 }
 
 // annotate reveals gold labels for the selected pool pairs, producing
@@ -174,7 +174,7 @@ func (f *Framework) annotate(pool []entity.Pair, ids []int) []prompt.Demo {
 // mitigation for the input-length overrun risk Section IV-C attributes to
 // topk-question selection. It returns the response and how many demos
 // were dropped.
-func (f *Framework) callWithTrim(model llm.Model, demos []prompt.Demo, qs []entity.Pair) (llm.Response, int, error) {
+func (f *Framework) callWithTrim(ctx context.Context, model llm.Model, demos []prompt.Demo, qs []entity.Pair) (llm.Response, int, error) {
 	trimmed := 0
 	format := prompt.TextAnswers
 	if f.cfg.JSONAnswers {
@@ -182,7 +182,7 @@ func (f *Framework) callWithTrim(model llm.Model, demos []prompt.Demo, qs []enti
 	}
 	for {
 		p := prompt.BuildWithFormat(f.cfg.TaskDescription, demos, qs, format)
-		resp, err := f.client.Complete(llm.Request{
+		resp, err := f.client.Complete(ctx, llm.Request{
 			Model:       model.Name,
 			Prompt:      p.Text,
 			Temperature: f.cfg.Temperature,
@@ -200,11 +200,11 @@ func (f *Framework) callWithTrim(model llm.Model, demos []prompt.Demo, qs []enti
 				return llm.Response{}, trimmed, err
 			}
 			mid := len(qs) / 2
-			left, tl, err := f.callWithTrim(model, nil, qs[:mid])
+			left, tl, err := f.callWithTrim(ctx, model, nil, qs[:mid])
 			if err != nil {
 				return llm.Response{}, trimmed, err
 			}
-			right, tr, err := f.callWithTrim(model, nil, qs[mid:])
+			right, tr, err := f.callWithTrim(ctx, model, nil, qs[mid:])
 			if err != nil {
 				return llm.Response{}, trimmed, err
 			}
@@ -221,7 +221,11 @@ func (f *Framework) callWithTrim(model llm.Model, demos []prompt.Demo, qs []enti
 func mergeResponses(left, right llm.Response, leftN, rightN int) llm.Response {
 	leftLabels := prompt.ParseAnswersAny(left.Completion, leftN)
 	rightLabels := prompt.ParseAnswersAny(right.Completion, rightN)
-	all := append(leftLabels, rightLabels...)
+	// Copy into a fresh slice: appending to leftLabels could alias its
+	// backing array and clobber it for any other holder.
+	all := make([]entity.Label, 0, len(leftLabels)+len(rightLabels))
+	all = append(all, leftLabels...)
+	all = append(all, rightLabels...)
 	return llm.Response{
 		Completion:   prompt.FormatAnswers(all),
 		InputTokens:  left.InputTokens + right.InputTokens,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,8 +35,8 @@ func newSimClient(questions, pool []entity.Pair, seed int64) llm.Client {
 func TestResolveEndToEnd(t *testing.T) {
 	questions, pool := testWorkload(t, "Beer", 40)
 	client := newSimClient(questions, pool, 1)
-	f := New(Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 1}, client)
-	res, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 1})
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +61,8 @@ func TestResolveAllDesignPoints(t *testing.T) {
 	for _, bs := range BatchStrategies() {
 		for _, ss := range SelectStrategies() {
 			client := newSimClient(questions, pool, 2)
-			f := New(Config{Batching: bs, Selection: ss, Seed: 2}, client)
-			res, err := f.Resolve(questions, pool)
+			f := NewFromConfig(client, Config{Batching: bs, Selection: ss, Seed: 2})
+			res, err := f.Resolve(context.Background(), questions, pool)
 			if err != nil {
 				t.Fatalf("%v/%v: %v", bs, ss, err)
 			}
@@ -79,8 +80,8 @@ func TestResolveAllDesignPoints(t *testing.T) {
 }
 
 func TestResolveEmptyQuestions(t *testing.T) {
-	f := New(Config{}, llm.NewSimulated(nil, 1))
-	res, err := f.Resolve(nil, nil)
+	f := NewFromConfig(llm.NewSimulated(nil, 1), Config{})
+	res, err := f.Resolve(context.Background(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,9 +93,9 @@ func TestResolveEmptyQuestions(t *testing.T) {
 func TestResolveStandardPrompting(t *testing.T) {
 	questions, pool := testWorkload(t, "Beer", 12)
 	client := newSimClient(questions, pool, 3)
-	f := New(Config{BatchSize: 1, Selection: FixedSelection, Seed: 3}, client)
+	f := NewFromConfig(client, Config{BatchSize: 1, Selection: FixedSelection, Seed: 3})
 	f.cfg.BatchSize = 1
-	res, err := f.Resolve(questions, pool)
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,14 +106,14 @@ func TestResolveStandardPrompting(t *testing.T) {
 
 func TestBatchPromptingCheaperThanStandard(t *testing.T) {
 	questions, pool := testWorkload(t, "IA", 48)
-	std := New(Config{Selection: FixedSelection, Seed: 4}, newSimClient(questions, pool, 4))
+	std := NewFromConfig(newSimClient(questions, pool, 4), Config{Selection: FixedSelection, Seed: 4})
 	std.cfg.BatchSize = 1
-	batch := New(Config{Selection: FixedSelection, Seed: 4}, newSimClient(questions, pool, 4))
-	resStd, err := std.Resolve(questions, pool)
+	batch := NewFromConfig(newSimClient(questions, pool, 4), Config{Selection: FixedSelection, Seed: 4})
+	resStd, err := std.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resBatch, err := batch.Resolve(questions, pool)
+	resBatch, err := batch.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,15 +125,13 @@ func TestBatchPromptingCheaperThanStandard(t *testing.T) {
 
 func TestCoveringLabelsFewerThanTopKQuestion(t *testing.T) {
 	questions, pool := testWorkload(t, "IA", 64)
-	cover := New(Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 5},
-		newSimClient(questions, pool, 5))
-	topkq := New(Config{Batching: DiversityBatching, Selection: TopKQuestion, Seed: 5},
-		newSimClient(questions, pool, 5))
-	resC, err := cover.Resolve(questions, pool)
+	cover := NewFromConfig(newSimClient(questions, pool, 5), Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 5})
+	topkq := NewFromConfig(newSimClient(questions, pool, 5), Config{Batching: DiversityBatching, Selection: TopKQuestion, Seed: 5})
+	resC, err := cover.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resT, err := topkq.Resolve(questions, pool)
+	resT, err := topkq.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,20 +147,20 @@ type overflowClient struct {
 	failed bool
 }
 
-func (o *overflowClient) Complete(req llm.Request) (llm.Response, error) {
+func (o *overflowClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
 	if !o.failed {
 		o.failed = true
 		return llm.Response{}, llm.ErrContextLength
 	}
-	return o.inner.Complete(req)
+	return o.inner.Complete(ctx, req)
 }
 
 func TestResolveTrimsOnContextOverflow(t *testing.T) {
 	questions, pool := testWorkload(t, "Beer", 8)
 	inner := newSimClient(questions, pool, 6)
 	client := &overflowClient{inner: inner}
-	f := New(Config{Selection: FixedSelection, Seed: 6}, client)
-	res, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Selection: FixedSelection, Seed: 6})
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +170,7 @@ func TestResolveTrimsOnContextOverflow(t *testing.T) {
 }
 
 func TestAnnotateDefaultsUnknownToNonMatch(t *testing.T) {
-	f := New(Config{}, llm.NewSimulated(nil, 1))
+	f := NewFromConfig(llm.NewSimulated(nil, 1), Config{})
 	pool := []entity.Pair{{
 		A:     entity.NewRecord("a", []string{"t"}, []string{"x"}),
 		B:     entity.NewRecord("b", []string{"t"}, []string{"y"}),
@@ -200,7 +199,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestFrameworkConfigAccessor(t *testing.T) {
-	f := New(Config{BatchSize: 4}, llm.NewSimulated(nil, 1))
+	f := NewFromConfig(llm.NewSimulated(nil, 1), Config{BatchSize: 4})
 	if f.Config().BatchSize != 4 {
 		t.Errorf("Config() = %+v", f.Config())
 	}

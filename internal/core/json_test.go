@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"batcher/internal/entity"
@@ -12,8 +13,8 @@ func TestResolveWithJSONAnswers(t *testing.T) {
 	run := func(jsonMode bool) (*Result, metrics.Confusion) {
 		client := newSimClient(questions, pool, 5)
 		cfg := Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 5, JSONAnswers: jsonMode}
-		f := New(cfg, client)
-		res, err := f.Resolve(questions, pool)
+		f := NewFromConfig(client, cfg)
+		res, err := f.Resolve(context.Background(), questions, pool)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,72 @@
+package core
+
+import "batcher/internal/feature"
+
+// Option configures a Framework at construction time. Options mutate a
+// Config before applyDefaults resolves the remaining fields, so an unset
+// knob always lands on the paper's experimental default — New(client)
+// with no options is exactly Config{}.applyDefaults().
+type Option func(*Config)
+
+// WithBatchSize sets questions per prompt (default 8; 1 reproduces
+// standard prompting).
+func WithBatchSize(n int) Option { return func(c *Config) { c.BatchSize = n } }
+
+// WithNumDemos sets the per-batch demonstration budget (default 8).
+func WithNumDemos(n int) Option { return func(c *Config) { c.NumDemos = n } }
+
+// WithBatching sets the question batching strategy (Section III).
+func WithBatching(b BatchStrategy) Option { return func(c *Config) { c.Batching = b } }
+
+// WithSelection sets the demonstration selection strategy (Sections IV-V).
+func WithSelection(s SelectStrategy) Option { return func(c *Config) { c.Selection = s } }
+
+// WithExtractor sets the feature extractor mapping pairs to vectors
+// (default structure-aware Levenshtein ratio, the paper's BATCHER-LR).
+func WithExtractor(e feature.Extractor) Option { return func(c *Config) { c.Extractor = e } }
+
+// WithDistance sets the distance over feature vectors (default Euclidean).
+func WithDistance(d feature.Distance) Option { return func(c *Config) { c.Distance = d } }
+
+// WithCoverPercentile sets the covering threshold percentile (default
+// 0.08, the paper's 8th percentile).
+func WithCoverPercentile(p float64) Option { return func(c *Config) { c.CoverPercentile = p } }
+
+// WithClusterEpsPercentile sets the percentile calibrating DBSCAN's eps.
+func WithClusterEpsPercentile(p float64) Option {
+	return func(c *Config) { c.ClusterEpsPercentile = p }
+}
+
+// WithClusterMinPts sets DBSCAN's density threshold.
+func WithClusterMinPts(n int) Option { return func(c *Config) { c.ClusterMinPts = n } }
+
+// WithModel sets the underlying LLM by registry name (default
+// GPT-3.5-turbo-0301).
+func WithModel(name string) Option { return func(c *Config) { c.Model = name } }
+
+// WithTemperature sets the sampling temperature (default 0.01).
+func WithTemperature(t float64) Option { return func(c *Config) { c.Temperature = t } }
+
+// WithTaskDescription overrides the default instruction header.
+func WithTaskDescription(s string) Option { return func(c *Config) { c.TaskDescription = s } }
+
+// WithSeed fixes all randomized steps for reproducibility.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithDistanceSampleCap bounds the pairwise-distance sample used for
+// percentile calibration (default 512).
+func WithDistanceSampleCap(n int) Option { return func(c *Config) { c.DistanceSampleCap = n } }
+
+// WithParallelism dispatches up to n batch prompts concurrently (default
+// 1, strictly sequential). Predictions are identical either way; only
+// wall-clock changes.
+func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
+
+// WithJSONAnswers requests structured JSON replies from the LLM instead
+// of the paper's free-text format (parsing accepts both).
+func WithJSONAnswers() Option { return func(c *Config) { c.JSONAnswers = true } }
+
+// WithConfig overlays an explicit Config wholesale. It exists for callers
+// that build configurations programmatically (sweeps, serialized configs)
+// and composes with the other options: later options still apply on top.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }

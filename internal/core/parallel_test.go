@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"batcher/internal/entity"
@@ -12,8 +13,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	run := func(parallelism int) *Result {
 		client := newSimClient(questions, pool, 9)
 		cfg := Config{Batching: DiversityBatching, Selection: CoveringSelection, Seed: 9, Parallelism: parallelism}
-		f := New(cfg, client)
-		res, err := f.Resolve(questions, pool)
+		f := NewFromConfig(client, cfg)
+		res, err := f.Resolve(context.Background(), questions, pool)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,8 +42,8 @@ func TestParallelWithRaceDetector(t *testing.T) {
 	// Exercised under -race in CI; small workload, high parallelism.
 	questions, pool := testWorkload(t, "Beer", 48)
 	client := newSimClient(questions, pool, 2)
-	f := New(Config{Selection: FixedSelection, Seed: 2, Parallelism: 8}, client)
-	res, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Selection: FixedSelection, Seed: 2, Parallelism: 8})
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestParallelWithRaceDetector(t *testing.T) {
 }
 
 func TestParallelDefaultsToSequential(t *testing.T) {
-	f := New(Config{}, llm.NewSimulated(nil, 1))
+	f := NewFromConfig(llm.NewSimulated(nil, 1), Config{})
 	if f.Config().Parallelism != 1 {
 		t.Errorf("default parallelism = %d, want 1", f.Config().Parallelism)
 	}

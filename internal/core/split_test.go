@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ type tinyContextClient struct {
 	calls  int
 }
 
-func (c *tinyContextClient) Complete(req llm.Request) (llm.Response, error) {
+func (c *tinyContextClient) Complete(_ context.Context, req llm.Request) (llm.Response, error) {
 	c.calls++
 	if tokens.Count(req.Prompt) > c.budget {
 		return llm.Response{}, llm.ErrContextLength
@@ -44,8 +45,8 @@ func TestCallWithTrimSplitsBatches(t *testing.T) {
 	// demo trimming, then batch splitting, and finally succeeds.
 	probe := prompt.Build(prompt.DefaultTaskDescription, nil, questions[:8])
 	client := &tinyContextClient{budget: probe.Tokens()/2 + 40}
-	f := New(Config{Selection: FixedSelection, Seed: 1}, client)
-	res, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Selection: FixedSelection, Seed: 1})
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatalf("Resolve under tiny context: %v", err)
 	}
@@ -70,8 +71,8 @@ func TestCallWithTrimSplitsBatches(t *testing.T) {
 func TestCallWithTrimSingleQuestionTooLong(t *testing.T) {
 	questions, pool := testWorkload(t, "Beer", 4)
 	client := &tinyContextClient{budget: 5} // nothing fits
-	f := New(Config{Selection: FixedSelection, Seed: 1}, client)
-	_, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Selection: FixedSelection, Seed: 1})
+	_, err := f.Resolve(context.Background(), questions, pool)
 	if err == nil || !strings.Contains(err.Error(), "context") {
 		t.Errorf("err = %v, want context-length failure", err)
 	}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+)
+
+// gatedClient delegates to inner but parks the gateAt-th call until the
+// gate channel is closed, letting tests observe a stream mid-run.
+type gatedClient struct {
+	inner  llm.Client
+	calls  atomic.Int32
+	gateAt int32
+	gate   chan struct{}
+}
+
+func (g *gatedClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if g.calls.Add(1) == g.gateAt {
+		<-g.gate
+	}
+	return g.inner.Complete(ctx, req)
+}
+
+func TestResolveStreamYieldsBeforeRunFinishes(t *testing.T) {
+	questions, pool := testWorkload(t, "Beer", 40)
+	client := &gatedClient{inner: newSimClient(questions, pool, 1), gateAt: 2, gate: make(chan struct{})}
+	f := New(client, WithBatching(DiversityBatching), WithSelection(CoveringSelection), WithSeed(1))
+	st, err := f.ResolveStream(context.Background(), questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Batches()) < 2 {
+		t.Fatalf("workload produced %d batches, need >= 2", len(st.Batches()))
+	}
+	// The second LLM call is parked, so receiving the first batch here
+	// proves the stream yields incrementally rather than materializing
+	// the whole run.
+	first, ok := st.Next()
+	if !ok {
+		t.Fatalf("stream closed before first batch: %v", st.Err())
+	}
+	if first.Index != 0 {
+		t.Errorf("first batch index = %d, want 0", first.Index)
+	}
+	if done := int(client.calls.Load()); done >= len(st.Batches()) {
+		t.Errorf("full run finished (%d calls) before first yield was consumed", done)
+	}
+	if first.Ledger.Calls() != 1 || first.InputTokens <= 0 {
+		t.Errorf("batch delta malformed: calls=%d inTokens=%d", first.Ledger.Calls(), first.InputTokens)
+	}
+	close(client.gate)
+	got := 1
+	prev := 0
+	for br := range st.All() {
+		got++
+		if br.Index != prev+1 {
+			t.Errorf("batch order broken: %d after %d", br.Index, prev)
+		}
+		prev = br.Index
+		if len(br.Pred) != len(br.Questions) {
+			t.Errorf("batch %d: %d preds for %d questions", br.Index, len(br.Pred), len(br.Questions))
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(st.Batches()) {
+		t.Errorf("yielded %d of %d batches", got, len(st.Batches()))
+	}
+}
+
+func TestResolveStreamParallelDeterministicOrder(t *testing.T) {
+	questions, pool := testWorkload(t, "IA", 64)
+	run := func(parallelism int) ([]int, []entity.Label) {
+		client := newSimClient(questions, pool, 9)
+		f := New(client,
+			WithBatching(DiversityBatching), WithSelection(CoveringSelection),
+			WithSeed(9), WithParallelism(parallelism))
+		st, err := f.ResolveStream(context.Background(), questions, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []int
+		pred := make([]entity.Label, len(questions))
+		for br := range st.All() {
+			order = append(order, br.Index)
+			for i, qi := range br.Questions {
+				pred[qi] = br.Pred[i]
+			}
+		}
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return order, pred
+	}
+	seqOrder, seqPred := run(1)
+	parOrder, parPred := run(6)
+	for i := range seqOrder {
+		if seqOrder[i] != i {
+			t.Fatalf("sequential order[%d] = %d", i, seqOrder[i])
+		}
+	}
+	if !reflect.DeepEqual(seqOrder, parOrder) {
+		t.Errorf("parallel emission order differs: %v vs %v", parOrder, seqOrder)
+	}
+	if !reflect.DeepEqual(seqPred, parPred) {
+		t.Error("parallel predictions differ from sequential")
+	}
+}
+
+// cancellingClient cancels the bound context after `after` successful
+// completions, simulating a caller that gives up mid-run.
+type cancellingClient struct {
+	inner  llm.Client
+	cancel context.CancelFunc
+	calls  atomic.Int32
+	after  int32
+}
+
+func (c *cancellingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := c.inner.Complete(ctx, req)
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+	return resp, err
+}
+
+func TestResolveContextCancelMidRunReturnsPartialResult(t *testing.T) {
+	questions, pool := testWorkload(t, "Beer", 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &cancellingClient{inner: newSimClient(questions, pool, 1), cancel: cancel, after: 2}
+	f := New(client, WithSeed(1))
+	res, err := f.Resolve(ctx, questions, pool)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T %v, want *BatchError", err, err)
+	}
+	if be.Batch != 2 {
+		t.Errorf("failed batch = %d, want 2 (cancel fired after two completions)", be.Batch)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil partial result")
+	}
+	answered, unknown := 0, 0
+	for _, p := range res.Pred {
+		if p == entity.Unknown {
+			unknown++
+		} else {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Error("partial result carries no completed predictions")
+	}
+	if unknown == 0 {
+		t.Error("partial result claims full coverage despite cancellation")
+	}
+	if res.Ledger.Calls() != 2 {
+		t.Errorf("partial ledger records %d calls, want 2", res.Ledger.Calls())
+	}
+}
+
+func TestResolveContextCancelParallel(t *testing.T) {
+	questions, pool := testWorkload(t, "IA", 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &cancellingClient{inner: newSimClient(questions, pool, 2), cancel: cancel, after: 3}
+	f := New(client, WithSeed(2), WithParallelism(4))
+	res, err := f.Resolve(ctx, questions, pool)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+}
+
+func TestResolveStreamPreCancelled(t *testing.T) {
+	questions, pool := testWorkload(t, "Beer", 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := New(newSimClient(questions, pool, 1))
+	if _, err := f.ResolveStream(ctx, questions, pool); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ResolveStream err = %v", err)
+	}
+	if _, err := f.Resolve(ctx, questions, pool); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Resolve err = %v", err)
+	}
+}
+
+func TestStreamCloseAbandonsRun(t *testing.T) {
+	questions, pool := testWorkload(t, "Beer", 40)
+	client := newSimClient(questions, pool, 3)
+	f := New(client, WithSeed(3))
+	st, err := f.ResolveStream(context.Background(), questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Next(); !ok {
+		t.Fatalf("no first batch: %v", st.Err())
+	}
+	st.Close()
+	if _, ok := st.Next(); ok {
+		t.Error("stream still yielding after Close")
+	}
+	// A consumer-initiated stop is not a run failure.
+	if err := st.Err(); err != nil {
+		t.Errorf("Err after deliberate Close = %v, want nil", err)
+	}
+	st.Close() // idempotent
+}
+
+func TestResolveStreamEmptyQuestions(t *testing.T) {
+	f := New(llm.NewSimulated(nil, 1))
+	st, err := f.ResolveStream(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Next(); ok {
+		t.Error("empty stream yielded a batch")
+	}
+	if st.Err() != nil {
+		t.Errorf("empty stream err = %v", st.Err())
+	}
+}
+
+func TestBatchErrorUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	err := &BatchError{Batch: 3, Err: cause}
+	if !errors.Is(err, cause) {
+		t.Error("BatchError does not unwrap to its cause")
+	}
+	if got := err.Error(); got != "core: batch 3: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestOptionDefaultsMatchConfigDefaults(t *testing.T) {
+	// New(client) with zero options must resolve to exactly the paper's
+	// defaults, i.e. Config{}.applyDefaults().
+	got := New(llm.NewSimulated(nil, 1)).Config()
+	want := Config{}.applyDefaults()
+	if got.BatchSize != want.BatchSize || got.NumDemos != want.NumDemos ||
+		got.Batching != want.Batching || got.Selection != want.Selection ||
+		got.CoverPercentile != want.CoverPercentile ||
+		got.ClusterEpsPercentile != want.ClusterEpsPercentile ||
+		got.ClusterMinPts != want.ClusterMinPts ||
+		got.Model != want.Model || got.Temperature != want.Temperature ||
+		got.TaskDescription != want.TaskDescription ||
+		got.DistanceSampleCap != want.DistanceSampleCap ||
+		got.Parallelism != want.Parallelism ||
+		got.JSONAnswers != want.JSONAnswers {
+		t.Errorf("option defaults diverge:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Extractor.Name() != want.Extractor.Name() {
+		t.Errorf("default extractor = %q, want %q", got.Extractor.Name(), want.Extractor.Name())
+	}
+}
+
+func TestOptionsApplyAndCompose(t *testing.T) {
+	f := New(llm.NewSimulated(nil, 1),
+		WithBatchSize(4),
+		WithNumDemos(6),
+		WithModel(llm.GPT4),
+		WithTemperature(0.5),
+		WithCoverPercentile(0.2),
+		WithParallelism(3),
+		WithSeed(42),
+		WithJSONAnswers(),
+	)
+	cfg := f.Config()
+	if cfg.BatchSize != 4 || cfg.NumDemos != 6 || cfg.Model != llm.GPT4 ||
+		cfg.Temperature != 0.5 || cfg.CoverPercentile != 0.2 ||
+		cfg.Parallelism != 3 || cfg.Seed != 42 || !cfg.JSONAnswers {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+	// WithConfig overlays wholesale; later options still win.
+	f2 := New(llm.NewSimulated(nil, 1), WithConfig(Config{BatchSize: 2}), WithBatchSize(5))
+	if f2.Config().BatchSize != 5 {
+		t.Errorf("later option lost: %d", f2.Config().BatchSize)
+	}
+}
+
+func TestWorkerCapAtBatchCount(t *testing.T) {
+	// Parallelism far above the batch count must still complete cleanly
+	// (workers are capped at len(batches)).
+	questions, pool := testWorkload(t, "Beer", 16)
+	client := newSimClient(questions, pool, 7)
+	f := New(client, WithSeed(7), WithParallelism(64))
+	res, err := f.Resolve(context.Background(), questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) >= 64 {
+		t.Fatalf("workload too large for the cap to matter: %d batches", len(res.Batches))
+	}
+	answered := 0
+	for _, p := range res.Pred {
+		if p != entity.Unknown {
+			answered++
+		}
+	}
+	if answered != len(questions) {
+		t.Errorf("answered %d/%d under capped parallelism", answered, len(questions))
+	}
+}
+
+// failAfter succeeds for the first `after` calls and errors afterwards,
+// simulating a backend that dies mid-run.
+type failAfter struct {
+	inner llm.Client
+	calls atomic.Int32
+	after int32
+}
+
+func (c *failAfter) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if c.calls.Add(1) > c.after {
+		return llm.Response{}, errors.New("backend exploded")
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+func TestParallelFailureDeliversContiguousPrefix(t *testing.T) {
+	questions, pool := testWorkload(t, "IA", 64)
+	client := &failAfter{inner: newSimClient(questions, pool, 9), after: 3}
+	f := New(client, WithSeed(9), WithParallelism(4))
+	res, err := f.Resolve(context.Background(), questions, pool)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	// BatchError.Batch is the resume point: every batch below it was
+	// delivered (and billed into the partial ledger), nothing at or
+	// above it was.
+	for bi, batch := range res.Batches {
+		for _, qi := range batch {
+			if bi < be.Batch && res.Pred[qi] == entity.Unknown {
+				t.Errorf("batch %d below resume point %d left question %d unanswered", bi, be.Batch, qi)
+			}
+			if bi >= be.Batch && res.Pred[qi] != entity.Unknown {
+				t.Errorf("batch %d at/above resume point %d was delivered", bi, be.Batch)
+			}
+		}
+	}
+	if res.Ledger.Calls() != be.Batch {
+		t.Errorf("partial ledger records %d calls, want %d (the delivered prefix)", res.Ledger.Calls(), be.Batch)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"batcher/internal/entity"
@@ -54,8 +55,8 @@ func TestVoteKBudgetClamp(t *testing.T) {
 func TestVoteKSelectionEndToEnd(t *testing.T) {
 	questions, pool := testWorkload(t, "IA", 48)
 	client := newSimClient(questions, pool, 4)
-	f := New(Config{Batching: DiversityBatching, Selection: VoteKSelection, Seed: 4}, client)
-	res, err := f.Resolve(questions, pool)
+	f := NewFromConfig(client, Config{Batching: DiversityBatching, Selection: VoteKSelection, Seed: 4})
+	res, err := f.Resolve(context.Background(), questions, pool)
 	if err != nil {
 		t.Fatal(err)
 	}

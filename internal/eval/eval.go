@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,8 +88,8 @@ func loadWorkload(name string, o Options) (*workload, error) {
 func runFramework(w *workload, cfg core.Config, seed int64) (metrics.Confusion, *core.Result, error) {
 	cfg.Seed = seed
 	client := llm.NewSimulated(w.oracle, seed)
-	f := core.New(cfg, client)
-	res, err := f.Resolve(w.questions, w.pool)
+	f := core.NewFromConfig(client, cfg)
+	res, err := f.Resolve(context.Background(), w.questions, w.pool)
 	if err != nil {
 		return metrics.Confusion{}, nil, fmt.Errorf("eval: %s: %w", w.name, err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"io"
 
 	"batcher/internal/baselines"
@@ -200,7 +201,7 @@ func RunTable5(o Options) ([]Table5Row, error) {
 		// ManualPrompt: standard prompting with curated demos.
 		mp := &baselines.ManualPrompt{}
 		client := llm.NewSimulated(w.oracle, seed)
-		mres, err := mp.Run(w.questions, w.train, client)
+		mres, err := mp.Run(context.Background(), w.questions, w.train, client)
 		if err != nil {
 			return nil, err
 		}

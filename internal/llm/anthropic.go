@@ -2,6 +2,7 @@ package llm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,8 +55,9 @@ type anthropicResponse struct {
 	} `json:"error"`
 }
 
-// Complete implements Client.
-func (c *AnthropicCompatible) Complete(req Request) (Response, error) {
+// Complete implements Client. The HTTP request is bound to ctx, so
+// cancellation aborts an in-flight call immediately.
+func (c *AnthropicCompatible) Complete(ctx context.Context, req Request) (Response, error) {
 	maxTokens := c.MaxTokens
 	if maxTokens <= 0 {
 		maxTokens = 1024
@@ -69,7 +71,7 @@ func (c *AnthropicCompatible) Complete(req Request) (Response, error) {
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: encode request: %w", err)
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/messages", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/messages", bytes.NewReader(body))
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: build request: %w", err)
 	}

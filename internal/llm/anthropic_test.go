@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -35,7 +36,7 @@ func TestAnthropicCompatibleHappyPath(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &AnthropicCompatible{BaseURL: srv.URL, APIKey: "sk-ant-test"}
-	resp, err := c.Complete(Request{Model: "claude-x", Prompt: "are these the same?", Temperature: 0.01})
+	resp, err := c.Complete(context.Background(), Request{Model: "claude-x", Prompt: "are these the same?", Temperature: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestAnthropicCompatibleError(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &AnthropicCompatible{BaseURL: srv.URL}
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil || !contains(err.Error(), "bad model") {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err == nil || !contains(err.Error(), "bad model") {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -65,7 +66,7 @@ func TestAnthropicCompatibleEmptyContent(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &AnthropicCompatible{BaseURL: srv.URL}
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err == nil {
 		t.Error("empty content should error")
 	}
 }
@@ -76,7 +77,7 @@ func TestAnthropicCompatibleUsageFallback(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &AnthropicCompatible{BaseURL: srv.URL}
-	resp, err := c.Complete(Request{Model: "m", Prompt: "some words here"})
+	resp, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "some words here"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestAnthropicCompatibleCustomMaxTokens(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &AnthropicCompatible{BaseURL: srv.URL, MaxTokens: 77}
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err != nil {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err != nil {
 		t.Fatal(err)
 	}
 }

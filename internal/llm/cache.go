@@ -2,6 +2,7 @@ package llm
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
@@ -59,8 +60,9 @@ func cacheKey(req Request) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Complete implements Client.
-func (c *Cached) Complete(req Request) (Response, error) {
+// Complete implements Client. Cache hits are served without consulting
+// ctx; only the inner call on a miss is cancellable.
+func (c *Cached) Complete(ctx context.Context, req Request) (Response, error) {
 	key := cacheKey(req)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -76,7 +78,7 @@ func (c *Cached) Complete(req Request) (Response, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	resp, err := c.inner.Complete(req)
+	resp, err := c.inner.Complete(ctx, req)
 	if err != nil {
 		return Response{}, err
 	}
@@ -134,8 +136,8 @@ func NewUsageTracker(inner Client) *UsageTracker {
 }
 
 // Complete implements Client.
-func (u *UsageTracker) Complete(req Request) (Response, error) {
-	resp, err := u.inner.Complete(req)
+func (u *UsageTracker) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := u.inner.Complete(ctx, req)
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	s, ok := u.usage[req.Model]

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,7 +15,7 @@ type counting struct {
 	err   error
 }
 
-func (c *counting) Complete(req Request) (Response, error) {
+func (c *counting) Complete(_ context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.calls++
@@ -28,11 +29,11 @@ func TestCachedHitsSkipInner(t *testing.T) {
 	inner := &counting{}
 	c := NewCached(inner, 10)
 	req := Request{Model: "m", Prompt: "p", Temperature: 0.01}
-	r1, err := c.Complete(req)
+	r1, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Complete(req)
+	r2, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,9 +55,9 @@ func TestCachedHitsSkipInner(t *testing.T) {
 func TestCachedKeyIncludesModelAndTemperature(t *testing.T) {
 	inner := &counting{}
 	c := NewCached(inner, 10)
-	c.Complete(Request{Model: "a", Prompt: "p", Temperature: 0.01})
-	c.Complete(Request{Model: "b", Prompt: "p", Temperature: 0.01})
-	c.Complete(Request{Model: "a", Prompt: "p", Temperature: 0.9})
+	c.Complete(context.Background(), Request{Model: "a", Prompt: "p", Temperature: 0.01})
+	c.Complete(context.Background(), Request{Model: "b", Prompt: "p", Temperature: 0.01})
+	c.Complete(context.Background(), Request{Model: "a", Prompt: "p", Temperature: 0.9})
 	if inner.calls != 3 {
 		t.Errorf("distinct requests collapsed: %d calls", inner.calls)
 	}
@@ -66,20 +67,20 @@ func TestCachedLRUEviction(t *testing.T) {
 	inner := &counting{}
 	c := NewCached(inner, 2)
 	for i := 0; i < 3; i++ {
-		c.Complete(Request{Model: "m", Prompt: fmt.Sprintf("p%d", i)})
+		c.Complete(context.Background(), Request{Model: "m", Prompt: fmt.Sprintf("p%d", i)})
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
 	// p0 was evicted: asking again must call inner.
 	before := inner.calls
-	c.Complete(Request{Model: "m", Prompt: "p0"})
+	c.Complete(context.Background(), Request{Model: "m", Prompt: "p0"})
 	if inner.calls != before+1 {
 		t.Error("evicted entry served from cache")
 	}
 	// p2 is still cached.
 	before = inner.calls
-	c.Complete(Request{Model: "m", Prompt: "p2"})
+	c.Complete(context.Background(), Request{Model: "m", Prompt: "p2"})
 	if inner.calls != before {
 		t.Error("recent entry not served from cache")
 	}
@@ -89,11 +90,11 @@ func TestCachedErrorNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	inner := &counting{err: boom}
 	c := NewCached(inner, 10)
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); !errors.Is(err, boom) {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	inner.err = nil
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err != nil {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err != nil {
 		t.Fatalf("second attempt err = %v", err)
 	}
 	if inner.calls != 2 {
@@ -110,7 +111,7 @@ func TestCachedConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				c.Complete(Request{Model: "m", Prompt: fmt.Sprintf("p%d", i%10)})
+				c.Complete(context.Background(), Request{Model: "m", Prompt: fmt.Sprintf("p%d", i%10)})
 			}
 		}(g)
 	}
@@ -123,9 +124,9 @@ func TestCachedConcurrent(t *testing.T) {
 func TestUsageTrackerAggregates(t *testing.T) {
 	inner := &counting{}
 	u := NewUsageTracker(inner)
-	u.Complete(Request{Model: "m1", Prompt: "a"})
-	u.Complete(Request{Model: "m1", Prompt: "b"})
-	u.Complete(Request{Model: "m2", Prompt: "c"})
+	u.Complete(context.Background(), Request{Model: "m1", Prompt: "a"})
+	u.Complete(context.Background(), Request{Model: "m1", Prompt: "b"})
+	u.Complete(context.Background(), Request{Model: "m2", Prompt: "c"})
 	snap := u.Snapshot()
 	if snap["m1"].Calls != 2 || snap["m2"].Calls != 1 {
 		t.Errorf("snapshot = %+v", snap)
@@ -139,7 +140,7 @@ func TestUsageTrackerCountsErrors(t *testing.T) {
 	boom := errors.New("x")
 	inner := &counting{err: boom}
 	u := NewUsageTracker(inner)
-	u.Complete(Request{Model: "m", Prompt: "a"})
+	u.Complete(context.Background(), Request{Model: "m", Prompt: "a"})
 	snap := u.Snapshot()
 	if snap["m"].Errors != 1 || snap["m"].Calls != 0 {
 		t.Errorf("snapshot = %+v", snap["m"])
@@ -152,8 +153,8 @@ func TestMiddlewareComposition(t *testing.T) {
 	inner := &counting{}
 	stack := NewUsageTracker(NewCached(inner, 10))
 	req := Request{Model: "m", Prompt: "p"}
-	stack.Complete(req)
-	stack.Complete(req)
+	stack.Complete(context.Background(), req)
+	stack.Complete(context.Background(), req)
 	snap := stack.Snapshot()
 	if snap["m"].Calls != 2 {
 		t.Errorf("tracker calls = %d", snap["m"].Calls)

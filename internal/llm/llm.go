@@ -8,6 +8,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -34,9 +35,11 @@ type Response struct {
 }
 
 // Client is anything that can answer completion requests: the simulator,
-// a live HTTP endpoint, or a middleware wrapper.
+// a live HTTP endpoint, or a middleware wrapper. Implementations must
+// honour ctx: return promptly with ctx.Err() once it is cancelled or its
+// deadline passes, and must be safe for concurrent use.
 type Client interface {
-	Complete(req Request) (Response, error)
+	Complete(ctx context.Context, req Request) (Response, error)
 }
 
 // ErrContextLength is returned when a prompt exceeds the model's context

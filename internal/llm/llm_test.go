@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -109,7 +110,7 @@ func TestSimulatedAnswersClearPairs(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		sim := NewSimulated(oracleFor(qs...), seed)
 		req := buildBatch(t, demos, qs)
-		resp, err := sim.Complete(req)
+		resp, err := sim.Complete(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +132,11 @@ func TestSimulatedDeterministicPerSeed(t *testing.T) {
 	qs := []entity.Pair{clearPair(0, true), clearPair(1, false)}
 	sim := NewSimulated(oracleFor(qs...), 7)
 	req := buildBatch(t, nil, qs)
-	a, err := sim.Complete(req)
+	a, err := sim.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sim.Complete(req)
+	b, err := sim.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,13 +156,13 @@ func TestSimulatedSeedChangesOutcomes(t *testing.T) {
 		qs = append(qs, entity.Pair{A: a, B: b, Truth: entity.NonMatch})
 	}
 	req := buildBatch(t, nil, qs)
-	first, err := NewSimulated(oracleFor(qs...), 1).Complete(req)
+	first, err := NewSimulated(oracleFor(qs...), 1).Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	diff := false
 	for seed := int64(2); seed < 12; seed++ {
-		resp, err := NewSimulated(oracleFor(qs...), seed).Complete(req)
+		resp, err := NewSimulated(oracleFor(qs...), seed).Complete(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestSimulatedSeedChangesOutcomes(t *testing.T) {
 func TestSimulatedContextLimit(t *testing.T) {
 	long := strings.Repeat("word ", 10000)
 	sim := NewSimulated(nil, 1)
-	_, err := sim.Complete(Request{Model: DefaultModel, Prompt: long})
+	_, err := sim.Complete(context.Background(), Request{Model: DefaultModel, Prompt: long})
 	if !errors.Is(err, ErrContextLength) {
 		t.Errorf("err = %v, want ErrContextLength", err)
 	}
@@ -186,7 +187,7 @@ func TestSimulatedContextLimit(t *testing.T) {
 
 func TestSimulatedUnknownModel(t *testing.T) {
 	sim := NewSimulated(nil, 1)
-	_, err := sim.Complete(Request{Model: "gpt-99", Prompt: "hi"})
+	_, err := sim.Complete(context.Background(), Request{Model: "gpt-99", Prompt: "hi"})
 	if !errors.Is(err, ErrUnknownModel) {
 		t.Errorf("err = %v", err)
 	}
@@ -196,7 +197,7 @@ func TestSimulatedLlamaFailsBatch(t *testing.T) {
 	qs := []entity.Pair{clearPair(0, true), clearPair(1, false)}
 	sim := NewSimulated(oracleFor(qs...), 1)
 	p := prompt.Build(prompt.DefaultTaskDescription, nil, qs)
-	resp, err := sim.Complete(Request{Model: Llama2Chat70B, Prompt: p.Text})
+	resp, err := sim.Complete(context.Background(), Request{Model: Llama2Chat70B, Prompt: p.Text})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestSimulatedLlamaHandlesSingleQuestion(t *testing.T) {
 	q := clearPair(0, true)
 	sim := NewSimulated(oracleFor(q), 1)
 	p := prompt.Build(prompt.DefaultTaskDescription, nil, []entity.Pair{q})
-	resp, err := sim.Complete(Request{Model: Llama2Chat70B, Prompt: p.Text})
+	resp, err := sim.Complete(context.Background(), Request{Model: Llama2Chat70B, Prompt: p.Text})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestSimulatedLlamaHandlesSingleQuestion(t *testing.T) {
 
 func TestSimulatedUnparseablePromptGetsRefusal(t *testing.T) {
 	sim := NewSimulated(nil, 1)
-	resp, err := sim.Complete(Request{Model: DefaultModel, Prompt: "gibberish with no questions"})
+	resp, err := sim.Complete(context.Background(), Request{Model: DefaultModel, Prompt: "gibberish with no questions"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSimulatedTokensBilled(t *testing.T) {
 	qs := []entity.Pair{clearPair(0, true)}
 	sim := NewSimulated(oracleFor(qs...), 1)
 	req := buildBatch(t, nil, qs)
-	resp, err := sim.Complete(req)
+	resp, err := sim.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestSimulatedRelevantDemosHelp(t *testing.T) {
 		sim := NewSimulated(oracleFor(qs...), seed)
 		for _, demos := range [][]prompt.Demo{nearDemos, nil} {
 			p := prompt.Build(prompt.DefaultTaskDescription, demos, qs)
-			resp, err := sim.Complete(Request{Model: DefaultModel, Prompt: p.Text, Temperature: 0.01})
+			resp, err := sim.Complete(context.Background(), Request{Model: DefaultModel, Prompt: p.Text, Temperature: 0.01})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,14 +1,34 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
 )
 
+// sleepCtx blocks for d or until ctx is cancelled, whichever comes first.
+// A non-nil stub (set by tests) replaces the real timer; ctx is still
+// consulted afterwards so cancellation semantics survive stubbing.
+func sleepCtx(ctx context.Context, d time.Duration, stub func(time.Duration)) error {
+	if stub != nil {
+		stub(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
 // RateLimited wraps a Client with a token-bucket limiter on requests per
 // minute, the shape proprietary APIs actually enforce. It is safe for
-// concurrent use.
+// concurrent use, and a cancelled context releases a waiting caller
+// immediately instead of holding it until the bucket refills.
 type RateLimited struct {
 	inner Client
 
@@ -18,7 +38,7 @@ type RateLimited struct {
 	refill   float64 // tokens per second
 	last     time.Time
 	now      func() time.Time
-	sleep    func(time.Duration)
+	sleep    func(time.Duration) // test stub; nil uses a ctx-aware timer
 }
 
 // NewRateLimited returns a wrapper allowing requestsPerMinute calls with a
@@ -33,50 +53,57 @@ func NewRateLimited(inner Client, requestsPerMinute int) *RateLimited {
 		tokens:   float64(requestsPerMinute),
 		refill:   float64(requestsPerMinute) / 60,
 		now:      time.Now,
-		sleep:    time.Sleep,
 	}
 }
 
-// Complete implements Client, blocking until the bucket grants a token.
-func (r *RateLimited) Complete(req Request) (Response, error) {
-	r.wait()
-	return r.inner.Complete(req)
+// Complete implements Client, blocking until the bucket grants a token or
+// ctx is cancelled.
+func (r *RateLimited) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := r.wait(ctx); err != nil {
+		return Response{}, err
+	}
+	return r.inner.Complete(ctx, req)
 }
 
-func (r *RateLimited) wait() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	now := r.now()
-	if !r.last.IsZero() {
-		r.tokens += now.Sub(r.last).Seconds() * r.refill
-		if r.tokens > r.capacity {
-			r.tokens = r.capacity
+func (r *RateLimited) wait(ctx context.Context) error {
+	for {
+		r.mu.Lock()
+		now := r.now()
+		if !r.last.IsZero() {
+			r.tokens += now.Sub(r.last).Seconds() * r.refill
+			if r.tokens > r.capacity {
+				r.tokens = r.capacity
+			}
 		}
+		r.last = now
+		if r.tokens >= 1 {
+			r.tokens--
+			r.mu.Unlock()
+			return nil
+		}
+		need := (1 - r.tokens) / r.refill
+		d := time.Duration(need * float64(time.Second))
+		r.mu.Unlock()
+		if err := sleepCtx(ctx, d, r.sleep); err != nil {
+			return err
+		}
+		// Re-check the bucket rather than admitting unconditionally:
+		// several goroutines may have slept on the same deficit, and
+		// only as many as the refill actually covers may proceed.
 	}
-	r.last = now
-	if r.tokens >= 1 {
-		r.tokens--
-		return
-	}
-	need := (1 - r.tokens) / r.refill
-	d := time.Duration(need * float64(time.Second))
-	r.mu.Unlock()
-	r.sleep(d)
-	r.mu.Lock()
-	r.tokens = 0
-	r.last = r.now()
 }
 
 // Retrying wraps a Client with bounded exponential-backoff retries on
 // transient errors. Context-length and unknown-model errors are permanent
-// and never retried.
+// and never retried; context cancellation aborts both the backoff sleep
+// and any further attempts.
 type Retrying struct {
 	inner Client
 	// MaxAttempts is the total number of tries (>= 1).
 	MaxAttempts int
 	// BaseDelay is the first backoff; it doubles per attempt.
 	BaseDelay time.Duration
-	// sleep is stubbed in tests.
+	// sleep is stubbed in tests; nil uses a ctx-aware timer.
 	sleep func(time.Duration)
 }
 
@@ -85,24 +112,36 @@ func NewRetrying(inner Client, maxAttempts int, baseDelay time.Duration) *Retryi
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
-	return &Retrying{inner: inner, MaxAttempts: maxAttempts, BaseDelay: baseDelay, sleep: time.Sleep}
+	return &Retrying{inner: inner, MaxAttempts: maxAttempts, BaseDelay: baseDelay}
 }
 
 // Complete implements Client.
-func (t *Retrying) Complete(req Request) (Response, error) {
+func (t *Retrying) Complete(ctx context.Context, req Request) (Response, error) {
 	var lastErr error
 	delay := t.BaseDelay
 	for attempt := 0; attempt < t.MaxAttempts; attempt++ {
-		resp, err := t.inner.Complete(req)
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		resp, err := t.inner.Complete(ctx, req)
 		if err == nil {
 			return resp, nil
 		}
 		if errors.Is(err, ErrContextLength) || errors.Is(err, ErrUnknownModel) {
 			return Response{}, err
 		}
+		// Distinguish the caller giving up from the inner client's own
+		// deadline: an HTTP client's per-request timeout also surfaces as
+		// context.DeadlineExceeded but is transient and worth retrying.
+		// Only the caller's ctx ends the retry loop.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, ctxErr
+		}
 		lastErr = err
 		if attempt < t.MaxAttempts-1 && delay > 0 {
-			t.sleep(delay)
+			if err := sleepCtx(ctx, delay, t.sleep); err != nil {
+				return Response{}, err
+			}
 			delay *= 2
 		}
 	}

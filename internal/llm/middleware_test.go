@@ -1,7 +1,9 @@
 package llm
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -17,7 +19,7 @@ type scripted struct {
 	calls int
 }
 
-func (s *scripted) Complete(Request) (Response, error) {
+func (s *scripted) Complete(context.Context, Request) (Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	i := s.calls
@@ -42,7 +44,7 @@ func TestRetryingSucceedsAfterTransient(t *testing.T) {
 	r := NewRetrying(inner, 3, time.Millisecond)
 	var slept []time.Duration
 	r.sleep = func(d time.Duration) { slept = append(slept, d) }
-	resp, err := r.Complete(Request{})
+	resp, err := r.Complete(context.Background(), Request{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestRetryingGivesUp(t *testing.T) {
 	inner := &scripted{errs: []error{transient, transient, transient}}
 	r := NewRetrying(inner, 3, 0)
 	r.sleep = func(time.Duration) {}
-	_, err := r.Complete(Request{})
+	_, err := r.Complete(context.Background(), Request{})
 	if !errors.Is(err, transient) {
 		t.Errorf("err = %v", err)
 	}
@@ -76,7 +78,7 @@ func TestRetryingPermanentErrorsNotRetried(t *testing.T) {
 		inner := &scripted{errs: []error{perm, nil}}
 		r := NewRetrying(inner, 5, 0)
 		r.sleep = func(time.Duration) {}
-		_, err := r.Complete(Request{})
+		_, err := r.Complete(context.Background(), Request{})
 		if !errors.Is(err, perm) {
 			t.Errorf("err = %v, want %v", err, perm)
 		}
@@ -89,7 +91,7 @@ func TestRetryingPermanentErrorsNotRetried(t *testing.T) {
 func TestRetryingMinAttempts(t *testing.T) {
 	inner := &scripted{resps: []Response{{Completion: "x"}}}
 	r := NewRetrying(inner, 0, 0) // clamped to 1
-	if _, err := r.Complete(Request{}); err != nil {
+	if _, err := r.Complete(context.Background(), Request{}); err != nil {
 		t.Fatal(err)
 	}
 	if inner.calls != 1 {
@@ -105,7 +107,7 @@ func TestRateLimitedAllowsBurst(t *testing.T) {
 	var slept time.Duration
 	rl.sleep = func(d time.Duration) { slept += d }
 	for i := 0; i < 10; i++ {
-		if _, err := rl.Complete(Request{}); err != nil {
+		if _, err := rl.Complete(context.Background(), Request{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -125,7 +127,7 @@ func TestRateLimitedBlocksPastCapacity(t *testing.T) {
 		now = now.Add(d) // simulate the passage of time
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := rl.Complete(Request{}); err != nil {
+		if _, err := rl.Complete(context.Background(), Request{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,12 +145,12 @@ func TestRateLimitedRefills(t *testing.T) {
 	rl.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
 	// Drain the bucket.
 	for i := 0; i < 3; i++ {
-		rl.Complete(Request{})
+		rl.Complete(context.Background(), Request{})
 	}
 	// Advance a minute: bucket refills fully; next call must not sleep.
 	now = now.Add(time.Minute)
 	before := slept
-	rl.Complete(Request{})
+	rl.Complete(context.Background(), Request{})
 	if slept != before {
 		t.Error("call after refill should not sleep")
 	}
@@ -169,7 +171,7 @@ func TestOpenAICompatibleHappyPath(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &OpenAICompatible{BaseURL: srv.URL, APIKey: "sk-test"}
-	resp, err := c.Complete(Request{Model: "gpt-3.5-turbo", Prompt: "hello", Temperature: 0.01})
+	resp, err := c.Complete(context.Background(), Request{Model: "gpt-3.5-turbo", Prompt: "hello", Temperature: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +190,7 @@ func TestOpenAICompatibleAPIError(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &OpenAICompatible{BaseURL: srv.URL}
-	_, err := c.Complete(Request{Model: "m", Prompt: "p"})
+	_, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"})
 	if err == nil || !contains(err.Error(), "rate limit") {
 		t.Errorf("err = %v", err)
 	}
@@ -200,7 +202,7 @@ func TestOpenAICompatibleMissingUsageFallsBack(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &OpenAICompatible{BaseURL: srv.URL}
-	resp, err := c.Complete(Request{Model: "m", Prompt: "some prompt text here"})
+	resp, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "some prompt text here"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestOpenAICompatibleEmptyChoices(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &OpenAICompatible{BaseURL: srv.URL}
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err == nil {
 		t.Error("empty choices should error")
 	}
 }
@@ -226,7 +228,7 @@ func TestOpenAICompatibleBadJSON(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &OpenAICompatible{BaseURL: srv.URL}
-	if _, err := c.Complete(Request{Model: "m", Prompt: "p"}); err == nil {
+	if _, err := c.Complete(context.Background(), Request{Model: "m", Prompt: "p"}); err == nil {
 		t.Error("bad json should error")
 	}
 }
@@ -242,4 +244,75 @@ func indexOf(s, sub string) int {
 		}
 	}
 	return -1
+}
+
+func TestRetryingStopsOnContextCancel(t *testing.T) {
+	transient := errors.New("flaky")
+	inner := &scripted{errs: []error{transient, transient, transient}}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrying(inner, 5, time.Millisecond)
+	r.sleep = func(time.Duration) { cancel() } // cancel during the first backoff
+	_, err := r.Complete(ctx, Request{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("calls = %d, want 1 (no attempts after cancel)", inner.calls)
+	}
+}
+
+func TestRetryingPreCancelledContext(t *testing.T) {
+	inner := &scripted{resps: []Response{{Completion: "x"}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRetrying(inner, 3, 0)
+	if _, err := r.Complete(ctx, Request{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if inner.calls != 0 {
+		t.Errorf("calls = %d, want 0", inner.calls)
+	}
+}
+
+func TestRateLimitedReleasedByContextCancel(t *testing.T) {
+	inner := &scripted{resps: make([]Response, 2)}
+	rl := NewRateLimited(inner, 1) // 1 rpm: second call would wait ~a minute
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+	if _, err := rl.Complete(context.Background(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := rl.Complete(ctx, Request{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled wait blocked %v", elapsed)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner calls = %d, want 1", inner.calls)
+	}
+}
+
+func TestRetryingRetriesInnerClientTimeout(t *testing.T) {
+	// An HTTP client's per-request timeout surfaces as a wrapped
+	// context.DeadlineExceeded even though the caller's ctx is alive;
+	// it is transient and must be retried.
+	timeoutErr := fmt.Errorf("Post \"/chat\": %w", context.DeadlineExceeded)
+	inner := &scripted{resps: []Response{{}, {Completion: "ok"}}, errs: []error{timeoutErr, nil}}
+	r := NewRetrying(inner, 3, 0)
+	r.sleep = func(time.Duration) {}
+	resp, err := r.Complete(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completion != "ok" {
+		t.Errorf("Completion = %q", resp.Completion)
+	}
+	if inner.calls != 2 {
+		t.Errorf("calls = %d, want 2 (timeout retried once)", inner.calls)
+	}
 }

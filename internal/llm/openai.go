@@ -2,6 +2,7 @@ package llm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,8 +52,9 @@ type chatResponse struct {
 	} `json:"error"`
 }
 
-// Complete implements Client.
-func (c *OpenAICompatible) Complete(req Request) (Response, error) {
+// Complete implements Client. The HTTP request is bound to ctx, so
+// cancellation aborts an in-flight call immediately.
+func (c *OpenAICompatible) Complete(ctx context.Context, req Request) (Response, error) {
 	body, err := json.Marshal(chatRequest{
 		Model:       req.Model,
 		Messages:    []chatMessage{{Role: "user", Content: req.Prompt}},
@@ -61,7 +63,7 @@ func (c *OpenAICompatible) Complete(req Request) (Response, error) {
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: encode request: %w", err)
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/chat/completions", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/chat/completions", bytes.NewReader(body))
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: build request: %w", err)
 	}

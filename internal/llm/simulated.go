@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -71,8 +72,13 @@ func NewSimulated(oracle Oracle, seed int64) *Simulated {
 	return &Simulated{Oracle: oracle, Seed: seed, extractor: feature.NewLR()}
 }
 
-// Complete implements Client.
-func (s *Simulated) Complete(req Request) (Response, error) {
+// Complete implements Client. The simulator never blocks, so ctx is only
+// consulted once on entry — enough to make cancellation deterministic for
+// callers that cancel between batch calls.
+func (s *Simulated) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	model, err := Lookup(req.Model)
 	if err != nil {
 		return Response{}, err

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,8 +50,16 @@ type Report struct {
 	BlockingTime, MatchingTime time.Duration
 }
 
-// Run executes blocking then matching over the two tables.
-func Run(cfg Config, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+// Run executes blocking then matching over the two tables. Cancelling
+// ctx aborts the matching stage between LLM calls; the blocking stage is
+// local and fast enough not to need checkpoints.
+func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	blocker := cfg.Blocker
 	if blocker == nil {
 		blocker = &blocking.TokenBlocker{MinShared: 2, MaxPostings: 512}
@@ -71,9 +80,9 @@ func Run(cfg Config, client llm.Client, tableA, tableB []entity.Record) (*Report
 	if pool == nil {
 		pool = candidates
 	}
-	f := core.New(cfg.Matcher, client)
+	f := core.NewFromConfig(client, cfg.Matcher)
 	t1 := time.Now()
-	res, err := f.Resolve(candidates, pool)
+	res, err := f.Resolve(ctx, candidates, pool)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: matching: %w", err)
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestRunEndToEnd(t *testing.T) {
 	d, ta, tb := benchTables(t)
 	split := entity.SplitPairs(d.Pairs)
 	client := llm.NewSimulated(llm.BuildOracle(d.Pairs), 1)
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Blocker: &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
 		Pool:    split.Train,
 	}, client, ta, tb)
@@ -58,7 +59,7 @@ func TestRunFindsTruePairs(t *testing.T) {
 	d, _, _ := benchTables(t)
 	client := llm.NewSimulated(llm.BuildOracle(d.Pairs), 1)
 	split := entity.SplitPairs(d.Pairs)
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Blocker: &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
 		Pool:    split.Train,
 		Matcher: core.Config{Batching: core.DiversityBatching, Selection: core.CoveringSelection},
@@ -86,7 +87,7 @@ func TestRunFindsTruePairs(t *testing.T) {
 func TestRunMaxCandidatesGuard(t *testing.T) {
 	_, ta, tb := benchTables(t)
 	client := llm.NewSimulated(nil, 1)
-	_, err := Run(Config{MaxCandidates: 1}, client, ta, tb)
+	_, err := Run(context.Background(), Config{MaxCandidates: 1}, client, ta, tb)
 	if err == nil {
 		t.Error("candidate cap not enforced")
 	}
@@ -94,7 +95,7 @@ func TestRunMaxCandidatesGuard(t *testing.T) {
 
 func TestRunEmptyTables(t *testing.T) {
 	client := llm.NewSimulated(nil, 1)
-	rep, err := Run(Config{}, client, nil, nil)
+	rep, err := Run(context.Background(), Config{}, client, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunEmptyTables(t *testing.T) {
 func TestRunDefaultBlocker(t *testing.T) {
 	_, ta, tb := benchTables(t)
 	client := llm.NewSimulated(nil, 1)
-	rep, err := Run(Config{}, client, ta[:20], tb[:20])
+	rep, err := Run(context.Background(), Config{}, client, ta[:20], tb[:20])
 	if err != nil {
 		t.Fatal(err)
 	}
