@@ -32,6 +32,7 @@ package batcher
 
 import (
 	"context"
+	"iter"
 
 	"batcher/internal/blocking"
 	"batcher/internal/core"
@@ -255,11 +256,31 @@ func GenerateBenchmark(spec CustomBenchmark, seed int64) (*Dataset, error) {
 	return datagen.GenerateCustom(spec, seed)
 }
 
+// Blocker produces candidate pairs from two tables. Custom
+// implementations plug into RunPipeline via internal adapters; implement
+// StreamBlocker as well to generate candidates incrementally.
+type Blocker = blocking.Blocker
+
+// StreamBlocker is a Blocker whose BlockStream yields candidates one at
+// a time — identical pairs and order to Block, with memory bounded by
+// the tableB index instead of the candidate set. All built-in blockers
+// implement it.
+type StreamBlocker = blocking.StreamBlocker
+
 // BlockTables produces candidate pairs from two raw tables with
 // token-overlap blocking on the given attribute (empty = all attributes).
 func BlockTables(tableA, tableB []Record, attr string, minShared int) []Pair {
 	b := &blocking.TokenBlocker{Attr: attr, MinShared: minShared, MaxPostings: 512}
 	return b.Block(tableA, tableB)
+}
+
+// BlockTablesStream is the streaming form of BlockTables: candidates are
+// yielded as generated, so arbitrarily large candidate sets can be
+// consumed in bounded memory. The sequence yields a non-nil error and
+// stops if ctx is cancelled mid-generation.
+func BlockTablesStream(ctx context.Context, tableA, tableB []Record, attr string, minShared int) iter.Seq2[Pair, error] {
+	b := &blocking.TokenBlocker{Attr: attr, MinShared: minShared, MaxPostings: 512}
+	return b.BlockStream(ctx, tableA, tableB)
 }
 
 // CostPlan projects a campaign's dollars before running it.

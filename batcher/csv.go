@@ -4,8 +4,55 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"iter"
 	"os"
+
+	"batcher/internal/entity"
 )
+
+// CSVReader streams records from a CSV table one row at a time — the
+// incremental counterpart of ParseCSVTable for tables too large to
+// materialize. See OpenCSVTable for the file-backed variant.
+type CSVReader = entity.CSVReader
+
+// NewCSVReader wraps r for incremental reading; name is used in record
+// IDs and error messages. The header row is consumed immediately.
+func NewCSVReader(r io.Reader, name string) (*CSVReader, error) {
+	return entity.NewCSVReader(r, name)
+}
+
+// CSVTable is an open CSV file streaming records row by row. Close it
+// when done; Records yields until EOF or error.
+type CSVTable struct {
+	*CSVReader
+	f *os.File
+}
+
+// Close releases the underlying file.
+func (t *CSVTable) Close() error { return t.f.Close() }
+
+// Records returns a single-use iterator over the remaining rows.
+func (t *CSVTable) Records() iter.Seq2[Record, error] { return t.All() }
+
+// OpenCSVTable opens a CSV file for incremental reading. Rows are parsed
+// on demand, so arbitrarily large tables can be scanned in constant
+// memory:
+//
+//	tbl, err := batcher.OpenCSVTable("items.csv")
+//	defer tbl.Close()
+//	for rec, err := range tbl.Records() { ... }
+func OpenCSVTable(path string) (*CSVTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("batcher: open table: %w", err)
+	}
+	r, err := entity.NewCSVReader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("batcher: %w", err)
+	}
+	return &CSVTable{CSVReader: r, f: f}, nil
+}
 
 // ReadCSVTable reads a CSV file into records. The first row is the header
 // (attribute names); an "id" column, if present, becomes the record ID and
@@ -20,49 +67,18 @@ func ReadCSVTable(path string) ([]Record, error) {
 }
 
 // ParseCSVTable reads CSV records from r; name is used in error messages.
+// It is the collect-all form of NewCSVReader.
 func ParseCSVTable(r io.Reader, name string) ([]Record, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
+	cr, err := entity.NewCSVReader(r, name)
 	if err != nil {
-		return nil, fmt.Errorf("batcher: %s: read header: %w", name, err)
-	}
-	idCol := -1
-	var attrs []string
-	for i, h := range header {
-		if h == "id" && idCol < 0 {
-			idCol = i
-			continue
-		}
-		attrs = append(attrs, h)
+		return nil, fmt.Errorf("batcher: %w", err)
 	}
 	var out []Record
-	row := 0
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
+	for rec, err := range cr.All() {
 		if err != nil {
-			return nil, fmt.Errorf("batcher: %s: row %d: %w", name, row+2, err)
+			return nil, fmt.Errorf("batcher: %w", err)
 		}
-		id := fmt.Sprintf("%s#%d", name, row)
-		vals := make([]string, 0, len(attrs))
-		for i := range header {
-			v := ""
-			if i < len(rec) {
-				v = rec[i]
-			}
-			if i == idCol {
-				if v != "" {
-					id = v
-				}
-				continue
-			}
-			vals = append(vals, v)
-		}
-		out = append(out, NewRecord(id, attrs, vals))
-		row++
+		out = append(out, rec)
 	}
 	return out, nil
 }

@@ -20,13 +20,29 @@ type PipelineConfig struct {
 	// on large tables and tolerates lower overlap.
 	UseMinHash bool
 	// MaxCandidates aborts the run if blocking produces more pairs
-	// (budget guard). Zero disables.
+	// (budget guard). Zero disables. The guard trips incrementally, as
+	// soon as the cap is crossed.
 	MaxCandidates int
 	// Matcher options applied to the BATCHER stage.
 	Matcher []Option
 	// Pool supplies labeled pairs for demonstration annotation; nil uses
 	// the candidates themselves (unsupervised mode).
 	Pool []Pair
+	// StreamWindow > 0 streams candidates from the blocker to the
+	// matcher in windows of this many pairs: blocking and matching
+	// overlap in time and peak candidate memory is bounded by the window
+	// instead of |A|x|B|. Zero keeps the collect-then-match semantics
+	// (and their exact outputs). Windowed runs batch and select
+	// demonstrations per window, so predictions can differ from an
+	// unwindowed run.
+	StreamWindow int
+	// Progress, if non-nil, receives stage snapshots as the run
+	// advances (never concurrently).
+	Progress func(PipelineProgress)
+	// OnPair, if non-nil, is called once per candidate with its final
+	// prediction, in candidate order, as predictions become available.
+	// Use it to sink results incrementally without buffering every pair.
+	OnPair func(Pair, Label)
 }
 
 // PipelineReport is the outcome of RunPipeline.
@@ -35,8 +51,14 @@ type PipelineReport = pipeline.Report
 // PipelineMatch is one matched record ID pair.
 type PipelineMatch = pipeline.Match
 
+// PipelineProgress is a point-in-time snapshot of a pipeline run.
+type PipelineProgress = pipeline.Progress
+
 // RunPipeline blocks the two tables and matches the candidates.
-// Cancelling ctx aborts the matching stage between LLM calls.
+// Cancelling ctx aborts blocking between candidate yields and the
+// matching stage between LLM calls. On mid-matching failure the partial
+// report (billed spend, answered predictions) is returned alongside the
+// error; failures before any matching spend return a nil report.
 func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA, tableB []Record) (*PipelineReport, error) {
 	var blocker blocking.Blocker
 	minShared := cfg.MinSharedTokens
@@ -57,6 +79,9 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA,
 		Matcher:       mcfg,
 		Pool:          cfg.Pool,
 		MaxCandidates: cfg.MaxCandidates,
+		StreamWindow:  cfg.StreamWindow,
+		Progress:      cfg.Progress,
+		OnPair:        cfg.OnPair,
 	}, client, tableA, tableB)
 }
 

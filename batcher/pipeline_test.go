@@ -44,6 +44,62 @@ func TestRunPipelineMinHash(t *testing.T) {
 	}
 }
 
+func TestRunPipelineStreamWindow(t *testing.T) {
+	ds, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitPairs(ds.Pairs)
+	client := NewSimulatedClient(ds.Pairs, 1)
+	var streamed int
+	var lastProgress PipelineProgress
+	rep, err := RunPipeline(context.Background(), PipelineConfig{
+		BlockAttr:       "beer_name",
+		MinSharedTokens: 2,
+		Pool:            split.Train,
+		Matcher:         []Option{WithSeed(1)},
+		StreamWindow:    16,
+		OnPair:          func(Pair, Label) { streamed++ },
+		Progress:        func(p PipelineProgress) { lastProgress = p },
+	}, client, ds.TableA[:100], ds.TableB[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	if rep.PeakBuffered > 16 {
+		t.Errorf("PeakBuffered = %d, exceeds window 16", rep.PeakBuffered)
+	}
+	if streamed != rep.Candidates {
+		t.Errorf("OnPair saw %d of %d candidates", streamed, rep.Candidates)
+	}
+	if !lastProgress.BlockingDone || lastProgress.Windows != rep.Windows {
+		t.Errorf("terminal progress = %+v", lastProgress)
+	}
+}
+
+func TestBlockTablesStreamPublic(t *testing.T) {
+	ds, _ := LoadBenchmark("Beer", 1)
+	ta, tb := ds.TableA[:80], ds.TableB[:80]
+	want := BlockTables(ta, tb, "beer_name", 2)
+	var got []Pair
+	for p, err := range BlockTablesStream(context.Background(), ta, tb, "beer_name", 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d pairs, BlockTables %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("pair %d = %s, want %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
 func TestRunPipelineCandidateGuard(t *testing.T) {
 	ds, _ := LoadBenchmark("Beer", 1)
 	client := NewSimulatedClient(nil, 1)

@@ -11,8 +11,10 @@ package repro_bench
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"batcher/internal/blocking"
 	"batcher/internal/cluster"
 	"batcher/internal/core"
 	"batcher/internal/datagen"
@@ -21,6 +23,7 @@ import (
 	"batcher/internal/feature"
 	"batcher/internal/llm"
 	"batcher/internal/metrics"
+	"batcher/internal/pipeline"
 )
 
 // benchOpts are the reduced settings shared by the table benches.
@@ -300,6 +303,93 @@ func BenchmarkAblationVoteK(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- Blocking benches: the candidate-generation stage ------------------
+
+// blockingTables synthesizes two n-row tables with realistic overlap for
+// the blocking benches: each A row shares its two key tokens with one B
+// row and one token with ~1% of the rest.
+func blockingTables(n int) ([]entity.Record, []entity.Record) {
+	ta := make([]entity.Record, 0, n)
+	tb := make([]entity.Record, 0, n)
+	for i := 0; i < n; i++ {
+		title := fmt.Sprintf("item%d group%d", i, i%97)
+		ta = append(ta, entity.NewRecord(fmt.Sprintf("a%d", i), []string{"title"}, []string{title}))
+		tb = append(tb, entity.NewRecord(fmt.Sprintf("b%d", i), []string{"title"}, []string{title}))
+	}
+	return ta, tb
+}
+
+// BenchmarkBlockingEngines measures all four blockers' full-table Block
+// on an 8k x 8k workload (inverted-index build + candidate generation),
+// reporting the candidate count so selectivity regressions show up
+// alongside time.
+func BenchmarkBlockingEngines(b *testing.B) {
+	ta, tb := blockingTables(8000)
+	for _, bc := range []struct {
+		name    string
+		blocker blocking.Blocker
+	}{
+		{"Token", &blocking.TokenBlocker{Attr: "title", MinShared: 2}},
+		{"QGram", &blocking.QGramBlocker{Attr: "title"}},
+		{"MinHash", &blocking.MinHashBlocker{Attr: "title"}},
+		{"SortedNeighborhood", &blocking.SortedNeighborhood{Attr: "title"}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cands := 0
+			for i := 0; i < b.N; i++ {
+				cands = len(bc.blocker.Block(ta, tb))
+			}
+			b.ReportMetric(float64(cands), "candidates")
+		})
+	}
+}
+
+// BenchmarkBlockingStream measures the streaming path end to end — the
+// same work as Block plus the iterator plumbing — to keep the seam's
+// overhead honest.
+func BenchmarkBlockingStream(b *testing.B) {
+	ta, tb := blockingTables(8000)
+	blocker := &blocking.TokenBlocker{Attr: "title", MinShared: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	cands := 0
+	for i := 0; i < b.N; i++ {
+		cands = 0
+		for _, err := range blocker.BlockStream(context.Background(), ta, tb) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			cands++
+		}
+	}
+	b.ReportMetric(float64(cands), "candidates")
+}
+
+// BenchmarkBlockingWindowedPipeline measures the overlapped
+// blocking+matching pipeline on a 4k x 4k table pair with a 256-pair
+// window, reporting the peak inter-stage buffer.
+func BenchmarkBlockingWindowedPipeline(b *testing.B) {
+	ta, tb := blockingTables(4000)
+	client := llm.NewSimulated(nil, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak, cands int
+	for i := 0; i < b.N; i++ {
+		rep, err := pipeline.Run(context.Background(), pipeline.Config{
+			Blocker:      &blocking.TokenBlocker{Attr: "title", MinShared: 2},
+			Matcher:      core.Config{Batching: core.RandomBatching, Selection: core.FixedSelection, Seed: 1},
+			StreamWindow: 256,
+		}, client, ta, tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak, cands = rep.PeakBuffered, rep.Candidates
+	}
+	b.ReportMetric(float64(peak), "peak-buffered")
+	b.ReportMetric(float64(cands), "candidates")
 }
 
 // BenchmarkAblationClustering compares the clustering substrate choices:

@@ -6,9 +6,22 @@
 // labels). Pass -api-base/-api-key to use a live OpenAI-compatible
 // endpoint instead.
 //
+// With -stream-window N, candidates stream from the blocker to the
+// matcher in windows of N pairs: blocking and matching overlap (the
+// progress line shows both stages advancing), result rows are written as
+// each window completes, and peak candidate memory is bounded by the
+// window instead of the candidate count. The default (0) blocks fully
+// before matching, as earlier versions did.
+//
+// An interrupted run (Ctrl-C, API failure) exits 1 but keeps what was
+// paid for: rows answered before the stop are written (unanswered
+// candidates as "0" in the default mode, completed windows in streaming
+// mode) and the partial cost ledger is printed.
+//
 // Usage:
 //
 //	ermatch -a tableA.csv -b tableB.csv -attr title -out matches.csv
+//	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512
 package main
 
 import (
@@ -32,6 +45,10 @@ func main() {
 	apiKey := flag.String("api-key", "", "API key for -api-base")
 	out := flag.String("out", "", "output CSV (default stdout)")
 	seed := flag.Int64("seed", 1, "seed for the framework and simulator")
+	streamWindow := flag.Int("stream-window", 0,
+		"stream candidates to the matcher in windows of this many pairs (0 = block fully first)")
+	maxCandidates := flag.Int("max-candidates", 0,
+		"abort once blocking exceeds this many pairs (budget guard; 0 = no cap)")
 	flag.Parse()
 
 	if *pathA == "" || *pathB == "" {
@@ -48,45 +65,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: loaded %d + %d records\n", len(tableA), len(tableB))
 
-	candidates := batcher.BlockTables(tableA, tableB, *attr, *minShared)
-	fmt.Fprintf(os.Stderr, "ermatch: blocking produced %d candidate pairs\n", len(candidates))
-	if len(candidates) == 0 {
-		return
-	}
-
 	var client batcher.Client
 	if *apiBase != "" {
 		client = batcher.NewOpenAIClient(*apiBase, *apiKey)
 	} else {
 		client = batcher.NewSimulatedClient(nil, *seed)
 	}
-	// Ctrl-C cancels the run between batch calls; whatever matched so
-	// far is still written out below.
+	// Ctrl-C cancels the run between LLM calls; rows written so far stay
+	// on disk. An output write failure cancels the same way, so a full
+	// disk stops the spend instead of matching to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	m := batcher.New(client, batcher.WithModel(*model), batcher.WithSeed(*seed))
-	// Without labeled data the candidates double as the demonstration
-	// pool; annotation defaults to the majority class.
-	stream, err := m.MatchStream(ctx, candidates, candidates)
-	if err != nil {
-		fatal(err)
-	}
-	res := stream.NewResult()
-	total := len(stream.Batches())
-	for br := range stream.All() {
-		res.Apply(br)
-		fmt.Fprintf(os.Stderr, "\rermatch: batch %d/%d  api=$%.3f", br.Index+1, total, res.Ledger.API())
-	}
-	// The run is over; restore default SIGINT handling so a second
-	// Ctrl-C can still kill the process during the CSV write below.
-	stop()
-	fmt.Fprintln(os.Stderr)
-	runErr := stream.Err()
-	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "ermatch: run stopped early: %v (writing partial matches)\n", runErr)
-	}
-	fmt.Fprintf(os.Stderr, "ermatch: %s\n", res.Ledger.String())
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
 
 	w := csv.NewWriter(os.Stdout)
 	if *out != "" {
@@ -100,27 +91,61 @@ func main() {
 	if err := w.Write([]string{"id_a", "id_b", "match"}); err != nil {
 		fatal(err)
 	}
-	matches := 0
-	for i, p := range candidates {
-		val := "0"
-		if res.Pred[i] == batcher.Match {
-			val = "1"
-			matches++
-		}
-		if err := w.Write([]string{p.A.ID, p.B.ID, val}); err != nil {
-			fatal(err)
-		}
-	}
+	written, matches := 0, 0
+	var writeErr error
+	rep, runErr := batcher.RunPipeline(ctx, batcher.PipelineConfig{
+		BlockAttr:       *attr,
+		MinSharedTokens: *minShared,
+		MaxCandidates:   *maxCandidates,
+		StreamWindow:    *streamWindow,
+		Matcher:         []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)},
+		// Rows stream out as each window's predictions land, so a huge
+		// candidate set never has to fit in memory for output either.
+		OnPair: func(p batcher.Pair, label batcher.Label) {
+			val := "0"
+			if label == batcher.Match {
+				val = "1"
+				matches++
+			}
+			if err := w.Write([]string{p.A.ID, p.B.ID, val}); err != nil && writeErr == nil {
+				writeErr = err
+				abort()
+			}
+			written++
+		},
+		Progress: func(pr batcher.PipelineProgress) {
+			stage := "blocking"
+			if pr.BlockingDone {
+				stage = "blocked "
+			}
+			fmt.Fprintf(os.Stderr, "\rermatch: %s %d | matched %d (%d windows) | api=$%.3f",
+				stage, pr.Blocked, pr.Matched, pr.Windows, pr.APIUSD)
+		},
+	}, client, tableA, tableB)
+	// The run is over; restore default SIGINT handling so a second
+	// Ctrl-C can still kill the process during the final flush below.
+	stop()
+	fmt.Fprintln(os.Stderr)
 	w.Flush()
-	if err := w.Error(); err != nil {
-		fatal(err)
+	if writeErr == nil {
+		writeErr = w.Error()
 	}
-	fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates matched\n", matches, len(candidates))
-	if runErr != nil {
-		// The partial CSV is on disk, but scripted callers must not
-		// mistake a truncated run for a complete one.
+	if runErr != nil || writeErr != nil {
+		// Partial spend is real spend: show the ledger before exiting,
+		// whatever stopped the run.
+		if rep != nil && rep.Result != nil {
+			fmt.Fprintf(os.Stderr, "ermatch: partial %s\n", rep.Result.Ledger.String())
+		}
+		if writeErr != nil {
+			fmt.Fprintf(os.Stderr, "ermatch: writing output: %v\n", writeErr)
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "ermatch: run stopped early: %v (%d rows written)\n", runErr, written)
+		}
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "ermatch: %s\n", rep.Result.Ledger.String())
+	fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates matched\n", matches, rep.Candidates)
 }
 
 func fatal(err error) {

@@ -1,7 +1,8 @@
 // Pipeline: the complete ER system on raw CSV tables — generate a
-// benchmark to disk, read it back the way a user would load their own
-// data, block with MinHash LSH, match with BATCHER, and score against
-// gold labels.
+// benchmark to disk, stream it back the way a user would load their own
+// data, block with MinHash LSH, match with BATCHER in streaming windows
+// (blocking overlapped with matching, candidate memory bounded by the
+// window), and score against gold labels.
 //
 // Run with:
 //
@@ -41,14 +42,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tableA, err := batcher.ReadCSVTable(pathA)
-	if err != nil {
-		log.Fatal(err)
+	// Load incrementally: rows are parsed one at a time, the way a table
+	// too large to slurp would be.
+	readStream := func(path string) []batcher.Record {
+		tbl, err := batcher.OpenCSVTable(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tbl.Close()
+		var out []batcher.Record
+		for rec, err := range tbl.Records() {
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, rec)
+		}
+		return out
 	}
-	tableB, err := batcher.ReadCSVTable(pathB)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tableA := readStream(pathA)
+	tableB := readStream(pathB)
 	fmt.Printf("loaded %d + %d restaurant records from CSV\n", len(tableA), len(tableB))
 
 	split := batcher.SplitPairs(ds.Pairs)
@@ -58,10 +70,19 @@ func main() {
 		UseMinHash: true,
 		Pool:       split.Train,
 		Matcher:    []Option{}, // defaults: diversity + covering
+		// Stream candidates to the matcher in windows of 64 pairs:
+		// blocking and LLM matching overlap, and at most one window is
+		// buffered between the stages.
+		StreamWindow: 64,
+		Progress: func(p batcher.PipelineProgress) {
+			fmt.Printf("\rblocked %d candidates | matched %d in %d windows", p.Blocked, p.Matched, p.Windows)
+		},
 	}, client, tableA, tableB)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println()
+	fmt.Printf("peak candidate buffer between stages: %d pairs\n", rep.PeakBuffered)
 	fmt.Println(rep.Summary())
 
 	// Score against gold labels. Blocking surfaces many pairs the

@@ -4,13 +4,17 @@
 // exists so the library ships a complete pipeline: the cmd/ermatch tool
 // and the examples block raw tables before matching.
 //
-// Two standard blockers are provided: token-overlap blocking (records
-// sharing at least k tokens on a key attribute become candidates) and
-// q-gram blocking for typo robustness.
+// Four blockers are provided — token overlap, q-gram, MinHash LSH, and
+// sorted neighborhood — all built on one shared inverted-index core with
+// a parallel sharded index build. Every blocker implements both Blocker
+// (materialize the full candidate slice) and StreamBlocker (yield pairs
+// incrementally with memory bounded by the tableB index), and the two
+// paths produce identical pairs in identical order.
 package blocking
 
 import (
-	"sort"
+	"context"
+	"iter"
 
 	"batcher/internal/entity"
 	"batcher/internal/strsim"
@@ -39,61 +43,29 @@ type TokenBlocker struct {
 	MaxPostings int
 }
 
-// keyText returns the blocking text of a record.
-func (b *TokenBlocker) keyText(r entity.Record) string {
-	if b.Attr == "" {
-		return r.Serialize()
+// terms returns the distinct non-stop tokens of a record's blocking text.
+func (b *TokenBlocker) terms(r entity.Record) []string {
+	set := strsim.TokenSet(keyText(b.Attr, r))
+	for tok := range set {
+		if b.StopTokens[tok] {
+			delete(set, tok)
+		}
 	}
-	v, _ := r.Get(b.Attr)
-	return v
+	return setTerms(set)
 }
 
 // Block implements Blocker with an inverted index over tokens.
 func (b *TokenBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+}
+
+// BlockStream implements StreamBlocker.
+func (b *TokenBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
 	minShared := b.MinShared
 	if minShared < 1 {
 		minShared = 1
 	}
-	// Index table B by token.
-	postings := make(map[string][]int)
-	for j, r := range tableB {
-		for tok := range strsim.TokenSet(b.keyText(r)) {
-			if b.StopTokens[tok] {
-				continue
-			}
-			postings[tok] = append(postings[tok], j)
-		}
-	}
-	if b.MaxPostings > 0 {
-		for tok, list := range postings {
-			if len(list) > b.MaxPostings {
-				delete(postings, tok)
-			}
-		}
-	}
-	var pairs []entity.Pair
-	for _, ra := range tableA {
-		counts := make(map[int]int)
-		for tok := range strsim.TokenSet(b.keyText(ra)) {
-			if b.StopTokens[tok] {
-				continue
-			}
-			for _, j := range postings[tok] {
-				counts[j]++
-			}
-		}
-		js := make([]int, 0, len(counts))
-		for j, c := range counts {
-			if c >= minShared {
-				js = append(js, j)
-			}
-		}
-		sort.Ints(js)
-		for _, j := range js {
-			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
-		}
-	}
-	return pairs
+	return streamByIndex(ctx, tableA, tableB, b.terms, minShared, b.MaxPostings)
 }
 
 // QGramBlocker pairs records sharing at least MinShared q-grams on the key
@@ -111,6 +83,11 @@ type QGramBlocker struct {
 
 // Block implements Blocker.
 func (b *QGramBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+}
+
+// BlockStream implements StreamBlocker.
+func (b *QGramBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
 	q := b.Q
 	if q <= 0 {
 		q = 3
@@ -123,44 +100,10 @@ func (b *QGramBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
 	if maxPost <= 0 {
 		maxPost = 256
 	}
-	key := func(r entity.Record) string {
-		if b.Attr == "" {
-			return r.Serialize()
-		}
-		v, _ := r.Get(b.Attr)
-		return v
+	terms := func(r entity.Record) []string {
+		return setTerms(strsim.QGrams(keyText(b.Attr, r), q))
 	}
-	postings := make(map[string][]int)
-	for j, r := range tableB {
-		for g := range strsim.QGrams(key(r), q) {
-			postings[g] = append(postings[g], j)
-		}
-	}
-	for g, list := range postings {
-		if len(list) > maxPost {
-			delete(postings, g)
-		}
-	}
-	var pairs []entity.Pair
-	for _, ra := range tableA {
-		counts := make(map[int]int)
-		for g := range strsim.QGrams(key(ra), q) {
-			for _, j := range postings[g] {
-				counts[j]++
-			}
-		}
-		js := make([]int, 0, len(counts))
-		for j, c := range counts {
-			if c >= minShared {
-				js = append(js, j)
-			}
-		}
-		sort.Ints(js)
-		for _, j := range js {
-			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
-		}
-	}
-	return pairs
+	return streamByIndex(ctx, tableA, tableB, terms, minShared, maxPost)
 }
 
 // Stats summarizes a blocker's output against gold matches for quality

@@ -1,0 +1,130 @@
+package blocking
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+
+	"batcher/internal/entity"
+)
+
+// keyText returns the blocking text of a record: the named attribute, or
+// the full serialization when attr is empty. All blockers derive their
+// index terms from this one helper.
+func keyText(attr string, r entity.Record) string {
+	if attr == "" {
+		return r.Serialize()
+	}
+	v, _ := r.Get(attr)
+	return v
+}
+
+// termFunc extracts the distinct index terms of one record (tokens,
+// q-grams, or LSH band keys). Implementations must return each term at
+// most once per record; term order is irrelevant.
+type termFunc func(r entity.Record) []string
+
+// setTerms collects a term set into a slice, the form termFuncs return.
+func setTerms(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// indexSeed salts the shard hash. It is fixed per process (maphash seeds
+// are re-randomized on every start); shard assignment only balances load
+// and never influences candidate output, so cross-run stability is not
+// needed.
+var indexSeed = maphash.MakeSeed()
+
+// invertedIndex maps terms to ascending record indices, sharded by term
+// hash so the build can merge shards in parallel without contention.
+type invertedIndex struct {
+	shards []map[string][]int
+}
+
+func (ix *invertedIndex) shardOf(term string) int {
+	return int(maphash.String(indexSeed, term) % uint64(len(ix.shards)))
+}
+
+// lookup returns the posting list of a term (nil if absent or capped).
+func (ix *invertedIndex) lookup(term string) []int {
+	return ix.shards[ix.shardOf(term)][term]
+}
+
+// buildIndex constructs the inverted index over table. The build is
+// parallel in two phases: contiguous row chunks are tokenized
+// concurrently into chunk-local shard maps, then each shard is merged
+// concurrently by concatenating the chunk maps in chunk order — posting
+// lists therefore stay in ascending row order, exactly as a sequential
+// append would produce. maxPostings > 0 drops terms whose merged list is
+// longer (too frequent to be selective).
+func buildIndex(table []entity.Record, terms termFunc, maxPostings int) *invertedIndex {
+	// Scale workers to the table, not the machine: each worker should own
+	// a meaningful chunk of rows, otherwise small tables on many-core
+	// hosts pay workers^2 map allocations for sub-millisecond work.
+	const minChunk = 1024
+	workers := (len(table) + minChunk - 1) / minChunk
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ix := &invertedIndex{shards: make([]map[string][]int, workers)}
+
+	// Phase 1: tokenize row chunks in parallel. local[c][s] holds chunk
+	// c's postings for shard s.
+	local := make([][]map[string][]int, workers)
+	chunk := (len(table) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(table) {
+			hi = len(table)
+		}
+		local[c] = make([]map[string][]int, workers)
+		for s := range local[c] {
+			local[c][s] = make(map[string][]int)
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				for _, t := range terms(table[j]) {
+					s := ix.shardOf(t)
+					local[c][s][t] = append(local[c][s][t], j)
+				}
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: merge each shard in parallel, visiting chunks in order so
+	// every posting list comes out ascending.
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			merged := make(map[string][]int)
+			for c := 0; c < workers; c++ {
+				for t, list := range local[c][s] {
+					merged[t] = append(merged[t], list...)
+				}
+			}
+			if maxPostings > 0 {
+				for t, list := range merged {
+					if len(list) > maxPostings {
+						delete(merged, t)
+					}
+				}
+			}
+			ix.shards[s] = merged
+		}(s)
+	}
+	wg.Wait()
+	return ix
+}

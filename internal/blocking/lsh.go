@@ -1,8 +1,10 @@
 package blocking
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"iter"
 	"sort"
 
 	"batcher/internal/entity"
@@ -66,58 +68,38 @@ func (b *MinHashBlocker) signature(tokens map[string]bool) []uint64 {
 	return sig
 }
 
-func (b *MinHashBlocker) keyText(r entity.Record) string {
-	if b.Attr == "" {
-		return r.Serialize()
-	}
-	v, _ := r.Get(b.Attr)
-	return v
-}
-
-// Block implements Blocker.
-func (b *MinHashBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+// terms returns one index term per LSH band: the band index prefixed to a
+// hash of that band's signature rows, so distinct bands never collide in
+// the shared inverted index.
+func (b *MinHashBlocker) terms(r entity.Record) []string {
 	rows, bands := b.rows(), b.bands()
-	// Index table B: band hash -> record indices.
-	buckets := make(map[string][]int)
-	bandKey := func(sig []uint64, band int) string {
+	sig := b.signature(strsim.TokenSet(keyText(b.Attr, r)))
+	out := make([]string, 0, bands)
+	for band := 0; band < bands; band++ {
 		h := fnv.New64a()
-		for r := 0; r < rows; r++ {
-			v := sig[band*rows+r]
+		for ri := 0; ri < rows; ri++ {
+			v := sig[band*rows+ri]
 			var buf [8]byte
 			for k := 0; k < 8; k++ {
 				buf[k] = byte(v >> (8 * k))
 			}
 			h.Write(buf[:])
 		}
-		return fmt.Sprintf("%d:%x", band, h.Sum64())
+		out = append(out, fmt.Sprintf("%d:%x", band, h.Sum64()))
 	}
-	sigsB := make([][]uint64, len(tableB))
-	for j, r := range tableB {
-		sigsB[j] = b.signature(strsim.TokenSet(b.keyText(r)))
-		for band := 0; band < bands; band++ {
-			k := bandKey(sigsB[j], band)
-			buckets[k] = append(buckets[k], j)
-		}
-	}
-	var pairs []entity.Pair
-	for _, ra := range tableA {
-		sig := b.signature(strsim.TokenSet(b.keyText(ra)))
-		cands := make(map[int]bool)
-		for band := 0; band < bands; band++ {
-			for _, j := range buckets[bandKey(sig, band)] {
-				cands[j] = true
-			}
-		}
-		js := make([]int, 0, len(cands))
-		for j := range cands {
-			js = append(js, j)
-		}
-		sort.Ints(js)
-		for _, j := range js {
-			pairs = append(pairs, entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown})
-		}
-	}
-	return pairs
+	return out
+}
+
+// Block implements Blocker.
+func (b *MinHashBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+}
+
+// BlockStream implements StreamBlocker: any band collision (minShared 1)
+// makes a candidate, with no posting cap — an over-full bucket is the
+// S-curve speaking, not an indexing artifact.
+func (b *MinHashBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
+	return streamByIndex(ctx, tableA, tableB, b.terms, 1, 0)
 }
 
 // SortedNeighborhood implements the classic sorted-neighborhood blocker:
@@ -137,6 +119,26 @@ type SortedNeighborhood struct {
 
 // Block implements Blocker.
 func (s *SortedNeighborhood) Block(tableA, tableB []entity.Record) []entity.Pair {
+	return collectAll(s.BlockStream(context.Background(), tableA, tableB))
+}
+
+// BlockStream implements StreamBlocker. Sorted neighborhood's output
+// contract orders pairs globally by Key, so the pair set is materialized
+// and sorted before the first yield — unlike the index blockers, its
+// peak memory is O(candidates). Streaming still lets downstream stages
+// start early and honors cancellation between yields.
+func (s *SortedNeighborhood) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
+	return func(yield func(entity.Pair, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(entity.Pair{}, err)
+			return
+		}
+		yieldPairs(ctx, s.block(tableA, tableB), yield)
+	}
+}
+
+// block generates the sorted, deduplicated pair slice.
+func (s *SortedNeighborhood) block(tableA, tableB []entity.Record) []entity.Pair {
 	window := s.Window
 	if window <= 0 {
 		window = 5
@@ -151,11 +153,7 @@ func (s *SortedNeighborhood) Block(tableA, tableB []entity.Record) []entity.Pair
 		fromA bool
 	}
 	key := func(r entity.Record) string {
-		text := r.Serialize()
-		if s.Attr != "" {
-			text, _ = r.Get(s.Attr)
-		}
-		toks := strsim.Tokenize(text)
+		toks := strsim.Tokenize(keyText(s.Attr, r))
 		sort.Strings(toks)
 		k := ""
 		for _, t := range toks {

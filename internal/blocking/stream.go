@@ -1,0 +1,123 @@
+package blocking
+
+import (
+	"context"
+	"iter"
+	"sort"
+
+	"batcher/internal/entity"
+)
+
+// StreamBlocker is a Blocker that can also yield its candidate pairs
+// incrementally. BlockStream produces exactly the pairs of Block, in the
+// same order, but one at a time — peak memory stays bounded by the
+// blocker's index over tableB instead of the full candidate set, and the
+// consumer can overlap downstream work (LLM matching) with generation.
+//
+// The sequence yields a non-nil error and stops if ctx is cancelled
+// mid-generation; otherwise every element carries a nil error. Breaking
+// out of the range loop simply abandons the stream (no cleanup needed).
+type StreamBlocker interface {
+	Blocker
+	BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error]
+}
+
+// Stream returns b's native streaming path when it implements
+// StreamBlocker, and otherwise adapts b.Block by materializing the full
+// candidate slice once and yielding from it. The adapter keeps legacy
+// third-party Blockers usable in streaming pipelines, at their old
+// memory cost.
+func Stream(ctx context.Context, b Blocker, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
+	if sb, ok := b.(StreamBlocker); ok {
+		return sb.BlockStream(ctx, tableA, tableB)
+	}
+	return func(yield func(entity.Pair, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(entity.Pair{}, err)
+			return
+		}
+		yieldPairs(ctx, b.Block(tableA, tableB), yield)
+	}
+}
+
+// yieldPairs streams a materialized pair slice, checking cancellation
+// between yields. Shared by the legacy-Blocker adapter and blockers
+// whose output contract forces materialization (sorted neighborhood).
+func yieldPairs(ctx context.Context, pairs []entity.Pair, yield func(entity.Pair, error) bool) {
+	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			yield(entity.Pair{}, err)
+			return
+		}
+		if !yield(p, nil) {
+			return
+		}
+	}
+}
+
+// Collect drains a candidate stream into a slice, stopping at the first
+// error. It is the inverse of Stream: Collect(b.BlockStream(ctx, a, b))
+// equals b.Block(a, b) for every StreamBlocker in this package.
+func Collect(seq iter.Seq2[entity.Pair, error]) ([]entity.Pair, error) {
+	var pairs []entity.Pair
+	for p, err := range seq {
+		if err != nil {
+			return pairs, err
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+// collectAll implements the legacy Block contract on top of a stream:
+// with a background context the stream cannot fail, so the error is
+// ignored by construction.
+func collectAll(seq iter.Seq2[entity.Pair, error]) []entity.Pair {
+	pairs, _ := Collect(seq)
+	return pairs
+}
+
+// streamByIndex is the shared candidate generator behind the
+// inverted-index blockers (token, q-gram, MinHash): it indexes tableB by
+// term once, then walks tableA row by row, counting per-row term
+// collisions in a single reused scratch map and yielding the rows of
+// tableB that share at least minShared terms, in ascending row order.
+// Cancellation is checked once per tableA row.
+func streamByIndex(ctx context.Context, tableA, tableB []entity.Record, terms termFunc, minShared, maxPostings int) iter.Seq2[entity.Pair, error] {
+	return func(yield func(entity.Pair, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(entity.Pair{}, err)
+			return
+		}
+		ix := buildIndex(tableB, terms, maxPostings)
+		// The scratch map and candidate slice are reused across rows:
+		// clearing a map keeps its buckets, so steady-state generation
+		// allocates only the yielded pairs.
+		counts := make(map[int]int)
+		var js []int
+		for _, ra := range tableA {
+			if err := ctx.Err(); err != nil {
+				yield(entity.Pair{}, err)
+				return
+			}
+			clear(counts)
+			for _, t := range terms(ra) {
+				for _, j := range ix.lookup(t) {
+					counts[j]++
+				}
+			}
+			js = js[:0]
+			for j, c := range counts {
+				if c >= minShared {
+					js = append(js, j)
+				}
+			}
+			sort.Ints(js)
+			for _, j := range js {
+				if !yield(entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown}, nil) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+)
+
+// streamBlockers returns one configured instance of each blocker, all of
+// which must implement StreamBlocker.
+func streamBlockers() map[string]StreamBlocker {
+	return map[string]StreamBlocker{
+		"token":        &TokenBlocker{Attr: "title", MinShared: 1},
+		"token-capped": &TokenBlocker{MinShared: 2, MaxPostings: 8, StopTokens: map[string]bool{"the": true}},
+		"qgram":        &QGramBlocker{Attr: "title"},
+		"qgram-tight":  &QGramBlocker{Attr: "title", Q: 2, MinShared: 3, MaxPostings: 32},
+		"minhash":      &MinHashBlocker{Attr: "title", Bands: 16, Rows: 2},
+		"minhash-seed": &MinHashBlocker{Seed: 7},
+		"snm":          &SortedNeighborhood{Attr: "title", Window: 4},
+		"snm-allattrs": &SortedNeighborhood{Window: 7, KeyPrefix: 5},
+	}
+}
+
+// randomTables builds two synthetic tables with overlapping vocabulary so
+// every blocker produces a non-trivial candidate set.
+func randomTables(seed int64, nA, nB int) ([]entity.Record, []entity.Record) {
+	rnd := rand.New(rand.NewSource(seed))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	makeTable := func(prefix string, n int) []entity.Record {
+		out := make([]entity.Record, 0, n)
+		for i := 0; i < n; i++ {
+			title := ""
+			for k := 0; k < 2+rnd.Intn(4); k++ {
+				if k > 0 {
+					title += " "
+				}
+				title += vocab[rnd.Intn(len(vocab))]
+			}
+			out = append(out, rec(fmt.Sprintf("%s%03d", prefix, i),
+				"title", title, "brand", vocab[rnd.Intn(len(vocab))]))
+		}
+		return out
+	}
+	return makeTable("a", nA), makeTable("b", nB)
+}
+
+// TestBlockStreamMatchesBlock is the core streaming property: for every
+// blocker, BlockStream yields exactly the pairs of Block, in the same
+// order, on randomized and benchmark-shaped tables.
+func TestBlockStreamMatchesBlock(t *testing.T) {
+	d, err := datagen.GenerateByName("Beer", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tables struct{ a, b []entity.Record }
+	cases := map[string]tables{"bench": {d.TableA[:90], d.TableB[:90]}}
+	for seed := int64(1); seed <= 3; seed++ {
+		a, b := randomTables(seed, 60, 80)
+		cases[fmt.Sprintf("rand%d", seed)] = tables{a, b}
+	}
+	cases["empty"] = tables{nil, nil}
+	cases["emptyA"] = tables{nil, d.TableB[:10]}
+	cases["emptyB"] = tables{d.TableA[:10], nil}
+
+	for bname, blocker := range streamBlockers() {
+		for cname, tb := range cases {
+			// Benchmark tables have no "title" attribute; attr-specific
+			// blockers then key on the empty string, which is still a
+			// valid (if degenerate) equivalence case.
+			want := blocker.Block(tb.a, tb.b)
+			got, err := Collect(blocker.BlockStream(context.Background(), tb.a, tb.b))
+			if err != nil {
+				t.Fatalf("%s/%s: stream error: %v", bname, cname, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: stream yielded %d pairs, Block returned %d", bname, cname, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key() != want[i].Key() || got[i].Truth != want[i].Truth {
+					t.Fatalf("%s/%s: pair %d differs: stream %s, Block %s", bname, cname, i, got[i].Key(), want[i].Key())
+				}
+			}
+		}
+	}
+}
+
+// TestBlockStreamEarlyBreak verifies a consumer can abandon a stream
+// mid-iteration without error or panic, and that a fresh stream is
+// unaffected by the abandoned one.
+func TestBlockStreamEarlyBreak(t *testing.T) {
+	ta, tb := randomTables(5, 40, 40)
+	for name, blocker := range streamBlockers() {
+		full := blocker.Block(ta, tb)
+		if len(full) < 2 {
+			continue
+		}
+		n := 0
+		for p, err := range blocker.BlockStream(context.Background(), ta, tb) {
+			if err != nil {
+				t.Fatalf("%s: unexpected error: %v", name, err)
+			}
+			if p.Key() != full[n].Key() {
+				t.Fatalf("%s: pair %d = %s, want %s", name, n, p.Key(), full[n].Key())
+			}
+			n++
+			if n == len(full)/2 {
+				break
+			}
+		}
+		again, err := Collect(blocker.BlockStream(context.Background(), ta, tb))
+		if err != nil || len(again) != len(full) {
+			t.Fatalf("%s: stream after abandoned stream: %d pairs, err %v", name, len(again), err)
+		}
+	}
+}
+
+// TestBlockStreamCancelMidStream cancels the context after the first
+// yielded pair and asserts the stream stops with the context error
+// instead of running to completion.
+func TestBlockStreamCancelMidStream(t *testing.T) {
+	ta, tb := randomTables(6, 50, 50)
+	for name, blocker := range streamBlockers() {
+		full := blocker.Block(ta, tb)
+		if len(full) < 3 {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []entity.Pair
+		var streamErr error
+		for p, err := range blocker.BlockStream(ctx, ta, tb) {
+			if err != nil {
+				streamErr = err
+				break
+			}
+			got = append(got, p)
+			cancel()
+		}
+		cancel()
+		if streamErr == nil {
+			t.Fatalf("%s: cancelled stream finished cleanly with %d/%d pairs", name, len(got), len(full))
+		}
+		if streamErr != context.Canceled {
+			t.Fatalf("%s: stream error = %v, want context.Canceled", name, streamErr)
+		}
+		if len(got) >= len(full) {
+			t.Fatalf("%s: cancellation did not stop generation (%d pairs)", name, len(got))
+		}
+		// The yielded prefix must still match Block's order.
+		for i, p := range got {
+			if p.Key() != full[i].Key() {
+				t.Fatalf("%s: prefix pair %d = %s, want %s", name, i, p.Key(), full[i].Key())
+			}
+		}
+	}
+}
+
+// TestBlockStreamPreCancelled verifies a dead context fails fast, before
+// any index work.
+func TestBlockStreamPreCancelled(t *testing.T) {
+	ta, tb := randomTables(7, 20, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, blocker := range streamBlockers() {
+		pairs, err := Collect(blocker.BlockStream(ctx, ta, tb))
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if len(pairs) != 0 {
+			t.Errorf("%s: pre-cancelled stream yielded %d pairs", name, len(pairs))
+		}
+	}
+}
+
+// TestStreamAdapterForLegacyBlockers verifies Stream falls back to Block
+// for a Blocker that lacks a native streaming path.
+type legacyOnlyBlocker struct{ inner Blocker }
+
+func (l legacyOnlyBlocker) Block(a, b []entity.Record) []entity.Pair { return l.inner.Block(a, b) }
+
+func TestStreamAdapterForLegacyBlockers(t *testing.T) {
+	ta, tb := randomTables(8, 30, 30)
+	inner := &TokenBlocker{Attr: "title", MinShared: 1}
+	want := inner.Block(ta, tb)
+	got, err := Collect(Stream(context.Background(), legacyOnlyBlocker{inner}, ta, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("adapter yielded %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("adapter pair %d = %s, want %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+	// The adapter must also honor cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Collect(Stream(ctx, legacyOnlyBlocker{inner}, ta, tb)); err != context.Canceled {
+		t.Fatalf("adapter pre-cancel err = %v", err)
+	}
+	// And prefer the native path when present.
+	n := 0
+	for _, err := range Stream(context.Background(), inner, ta, tb) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(want) {
+		t.Fatalf("native path yielded %d pairs, want %d", n, len(want))
+	}
+}
+
+// TestParallelIndexDeterministic re-blocks a larger table repeatedly: the
+// sharded parallel index build must never change candidate order.
+func TestParallelIndexDeterministic(t *testing.T) {
+	ta, tb := randomTables(9, 300, 400)
+	for name, blocker := range map[string]StreamBlocker{
+		"token": &TokenBlocker{Attr: "title", MinShared: 1, MaxPostings: 64},
+		"qgram": &QGramBlocker{Attr: "title"},
+	} {
+		base := blocker.Block(ta, tb)
+		for run := 0; run < 3; run++ {
+			again := blocker.Block(ta, tb)
+			if len(again) != len(base) {
+				t.Fatalf("%s: run %d produced %d pairs, want %d", name, run, len(again), len(base))
+			}
+			for i := range base {
+				if base[i].Key() != again[i].Key() {
+					t.Fatalf("%s: run %d pair %d differs", name, run, i)
+				}
+			}
+		}
+	}
+}

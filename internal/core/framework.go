@@ -49,6 +49,10 @@ type Result struct {
 	Batches Batches
 	// DemosLabeled is the number of distinct pool pairs annotated.
 	DemosLabeled int
+	// LabeledPool lists the pool indices of those annotated pairs, in
+	// ascending order. Callers that resolve several question sets over
+	// one shared pool use it to avoid double-counting labeling spend.
+	LabeledPool []int
 	// Ledger accumulates the run's monetary cost.
 	Ledger cost.Ledger
 	// PromptTokens is the total input tokens across batch prompts.
@@ -135,7 +139,7 @@ func (f *Framework) ResolveStream(ctx context.Context, questions, pool []entity.
 
 	runCtx, cancel := context.WithCancel(ctx)
 	st.batches = batches
-	st.demosLabeled = len(sel.labeled)
+	st.labeledPool = sel.labeled
 	st.cancel = cancel
 
 	// Never spawn more workers than batches: a small run under high

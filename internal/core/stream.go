@@ -56,8 +56,8 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // finished cleanly. A Stream must be consumed or Closed, otherwise the
 // producer goroutines leak.
 type Stream struct {
-	batches      Batches
-	demosLabeled int
+	batches     Batches
+	labeledPool []int
 
 	ch     chan BatchResult
 	cancel context.CancelFunc
@@ -73,7 +73,11 @@ func (s *Stream) Batches() Batches { return s.batches }
 
 // DemosLabeled returns the number of distinct pool pairs annotated up
 // front (the run's labeling cost in pairs).
-func (s *Stream) DemosLabeled() int { return s.demosLabeled }
+func (s *Stream) DemosLabeled() int { return len(s.labeledPool) }
+
+// LabeledPool returns the pool indices of the annotated pairs, in
+// ascending order. The slice is shared; callers must not mutate it.
+func (s *Stream) LabeledPool() []int { return s.labeledPool }
 
 // NewResult returns a Result primed for folding this stream's batches:
 // one Unknown prediction per question and the up-front labeling cost
@@ -87,13 +91,14 @@ func (s *Stream) NewResult() *Result {
 	res := &Result{
 		Pred:         make([]entity.Label, n),
 		Batches:      s.batches,
-		DemosLabeled: s.demosLabeled,
+		DemosLabeled: len(s.labeledPool),
+		LabeledPool:  s.labeledPool,
 	}
 	for i := range res.Pred {
 		res.Pred[i] = entity.Unknown
 	}
 	// Annotation happens up front, as in Figure 2's "Manual Labeling".
-	res.Ledger.AddLabels(s.demosLabeled)
+	res.Ledger.AddLabels(len(s.labeledPool))
 	return res
 }
 

@@ -53,11 +53,19 @@ func (l *Ledger) AddLabels(n int) {
 
 // Merge folds other into l.
 func (l *Ledger) Merge(other *Ledger) {
+	l.MergeAPI(other)
+	l.labeled += other.labeled
+}
+
+// MergeAPI folds only other's API side (calls, tokens, dollars) into l,
+// leaving labeling untouched. Aggregators that bill annotations of one
+// shared pool across several runs use it to avoid double-counting label
+// spend, adding distinct labels via AddLabels instead.
+func (l *Ledger) MergeAPI(other *Ledger) {
 	l.inputTokens += other.inputTokens
 	l.outputTokens += other.outputTokens
 	l.apiDollars += other.apiDollars
 	l.calls += other.calls
-	l.labeled += other.labeled
 }
 
 // API returns the accumulated API cost in dollars.

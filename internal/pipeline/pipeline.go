@@ -4,11 +4,21 @@
 // pairs with full cost accounting. The paper evaluates only the matcher
 // over pre-blocked candidates; this package is what a downstream user
 // runs on actual tables.
+//
+// Two execution modes share one entry point. With StreamWindow zero, Run
+// collects every candidate and matches them in a single resolution —
+// the original semantics, byte-identical results. With StreamWindow > 0,
+// blocking and matching run concurrently: candidates stream from the
+// blocker into fixed-size windows that are matched as they fill, so peak
+// candidate memory is bounded by the window size instead of |A|x|B|, and
+// the MaxCandidates guard trips the moment the cap is crossed rather
+// than after the full candidate set exists.
 package pipeline
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"batcher/internal/blocking"
@@ -20,17 +30,53 @@ import (
 // Config wires the two stages together.
 type Config struct {
 	// Blocker produces candidates; nil defaults to token-overlap blocking
-	// on all attributes with MinShared 2.
+	// on all attributes with MinShared 2. Blockers implementing
+	// blocking.StreamBlocker generate candidates incrementally; plain
+	// Blockers are adapted (materializing their full slice once).
 	Blocker blocking.Blocker
 	// Matcher configures the BATCHER stage; zero value gets the paper's
 	// defaults.
 	Matcher core.Config
 	// Pool supplies labeled pairs for demonstration annotation. Nil means
-	// the candidates themselves form the (unlabeled) pool.
+	// the candidates form the (unlabeled) pool — the full set in
+	// collected mode, each window in windowed mode.
 	Pool []entity.Pair
 	// MaxCandidates aborts if blocking produces more pairs; a guard
-	// against runaway API budgets. Zero disables the guard.
+	// against runaway API budgets. Zero disables the guard. The guard is
+	// incremental: generation stops as soon as the cap is crossed.
 	MaxCandidates int
+	// StreamWindow > 0 streams candidates to the matcher in windows of
+	// this many pairs, overlapping blocking with matching and bounding
+	// the candidate buffer at the window size. Zero preserves the
+	// collect-then-match semantics (and their exact outputs).
+	//
+	// Windowed matching batches and selects demonstrations per window,
+	// so predictions may differ from an unwindowed run of the same
+	// configuration.
+	StreamWindow int
+	// Progress, if non-nil, receives stage updates. It is called from
+	// the goroutine consuming windows (never concurrently).
+	Progress func(Progress)
+	// OnPair, if non-nil, is called once per candidate with its final
+	// prediction, in candidate order, as predictions become available —
+	// per window in windowed mode, at the end otherwise. It lets callers
+	// sink results incrementally without holding every pair.
+	OnPair func(entity.Pair, entity.Label)
+}
+
+// Progress is a point-in-time snapshot of a run, delivered to
+// Config.Progress after setup and after every completed window.
+type Progress struct {
+	// Blocked is the number of candidate pairs generated so far.
+	Blocked int
+	// BlockingDone reports whether candidate generation has finished.
+	BlockingDone bool
+	// Matched is the number of candidates with predictions so far.
+	Matched int
+	// Windows is the number of completed windows.
+	Windows int
+	// APIUSD is the API spend so far, in dollars.
+	APIUSD float64
 }
 
 // Match is one output match.
@@ -44,15 +90,36 @@ type Report struct {
 	Candidates int
 	// Matches lists the record ID pairs predicted to match.
 	Matches []Match
-	// Result is the underlying matcher result (ledger, batches, ...).
+	// Result is the underlying matcher result (ledger, batches, ...). In
+	// windowed mode it is the aggregate across windows: predictions are
+	// concatenated in candidate order and costs summed, but Batches is
+	// nil because batch indices are window-local.
 	Result *core.Result
 	// BlockingTime and MatchingTime are the stage wall-clock durations.
+	// In windowed mode the stages overlap, so the two may sum to more
+	// than the run's elapsed time.
 	BlockingTime, MatchingTime time.Duration
+	// Windows is the number of candidate windows matched (1 in collected
+	// mode, 0 when blocking found nothing).
+	Windows int
+	// PeakBuffered is the high-water mark of candidate pairs buffered
+	// between the blocking and matching stages. Windowed runs keep it at
+	// or below StreamWindow; collected runs buffer everything.
+	PeakBuffered int
 }
 
-// Run executes blocking then matching over the two tables. Cancelling
-// ctx aborts the matching stage between LLM calls; the blocking stage is
-// local and fast enough not to need checkpoints.
+// Run executes blocking and matching over the two tables. Cancelling ctx
+// aborts blocking between candidate yields and matching between LLM
+// calls.
+//
+// On mid-matching failure (including cancellation) Run returns the
+// partial Report accumulated so far alongside the error, mirroring
+// core.Resolve's partial-result contract: predictions answered before
+// the failure are kept (unanswered candidates stay Unknown) and the
+// ledger reflects what was actually billed. OnPair still fires for those
+// candidates. Failures before any matching spend — a dead ctx, a
+// blocking error or cap trip with no completed windows — return a nil
+// Report, so check the Report for nil before reading partial state.
 func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -64,14 +131,54 @@ func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []en
 	if blocker == nil {
 		blocker = &blocking.TokenBlocker{MinShared: 2, MaxPostings: 512}
 	}
-	t0 := time.Now()
-	candidates := blocker.Block(tableA, tableB)
-	blockingTime := time.Since(t0)
-	if cfg.MaxCandidates > 0 && len(candidates) > cfg.MaxCandidates {
-		return nil, fmt.Errorf("pipeline: blocking produced %d candidates, cap is %d",
-			len(candidates), cfg.MaxCandidates)
+	if cfg.StreamWindow > 0 {
+		return runWindowed(ctx, cfg, blocker, client, tableA, tableB)
 	}
-	rep := &Report{Candidates: len(candidates), BlockingTime: blockingTime}
+	return runCollected(ctx, cfg, blocker, client, tableA, tableB)
+}
+
+// errCandidateCap is the incremental MaxCandidates trip.
+func errCandidateCap(cap int) error {
+	return fmt.Errorf("pipeline: blocking exceeded the %d-candidate cap", cap)
+}
+
+// emitPairs folds one batch of predicted candidates into the report:
+// Matches collects Match predictions and OnPair observes every pair.
+// preds may include Unknown entries when a run failed mid-matching.
+func emitPairs(cfg Config, rep *Report, pairs []entity.Pair, preds []entity.Label) {
+	for i, p := range pairs {
+		if preds[i] == entity.Match {
+			rep.Matches = append(rep.Matches, Match{IDA: p.A.ID, IDB: p.B.ID})
+		}
+		if cfg.OnPair != nil {
+			cfg.OnPair(p, preds[i])
+		}
+	}
+}
+
+// runCollected is the legacy mode: materialize every candidate, then
+// match them in one resolution. Outputs are identical to the
+// pre-streaming pipeline; the only behavioural additions are blocking
+// cancellation and the incremental cap trip.
+func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+	t0 := time.Now()
+	var candidates []entity.Pair
+	for p, err := range blocking.Stream(ctx, blocker, tableA, tableB) {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: blocking: %w", err)
+		}
+		candidates = append(candidates, p)
+		if cfg.MaxCandidates > 0 && len(candidates) > cfg.MaxCandidates {
+			return nil, errCandidateCap(cfg.MaxCandidates)
+		}
+	}
+	blockingTime := time.Since(t0)
+	progress(cfg, Progress{Blocked: len(candidates), BlockingDone: true})
+	rep := &Report{
+		Candidates:   len(candidates),
+		BlockingTime: blockingTime,
+		PeakBuffered: len(candidates),
+	}
 	if len(candidates) == 0 {
 		rep.Result = &core.Result{}
 		return rep, nil
@@ -83,17 +190,184 @@ func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []en
 	f := core.NewFromConfig(client, cfg.Matcher)
 	t1 := time.Now()
 	res, err := f.Resolve(ctx, candidates, pool)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: matching: %w", err)
-	}
 	rep.MatchingTime = time.Since(t1)
-	rep.Result = res
-	for i, p := range candidates {
-		if res.Pred[i] == entity.Match {
-			rep.Matches = append(rep.Matches, Match{IDA: p.A.ID, IDB: p.B.ID})
+	if err != nil {
+		if res == nil { // setup failure: nothing billed, nothing partial
+			return nil, fmt.Errorf("pipeline: matching: %w", err)
 		}
+		// Keep the partial result: billed batches stay accounted and
+		// answered candidates keep their predictions (Unknown for the
+		// rest), per core.Resolve's partial contract.
+		rep.Result = res
+		rep.Windows = 1
+		emitPairs(cfg, rep, candidates, res.Pred)
+		return rep, fmt.Errorf("pipeline: matching: %w", err)
 	}
+	rep.Result = res
+	rep.Windows = 1
+	emitPairs(cfg, rep, candidates, res.Pred)
+	progress(cfg, Progress{
+		Blocked: len(candidates), BlockingDone: true,
+		Matched: len(candidates), Windows: 1, APIUSD: res.Ledger.API(),
+	})
 	return rep, nil
+}
+
+// runWindowed overlaps blocking with matching: a producer goroutine
+// drives the candidate stream into windows of StreamWindow pairs and
+// hands each full window to the consumer (this goroutine), which matches
+// it while the producer fills the next one. At most one window is being
+// filled and one being matched at any time, so peak candidate memory is
+// O(2*StreamWindow) regardless of table sizes.
+func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+	window := cfg.StreamWindow
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+
+	windows := make(chan []entity.Pair) // unbuffered: direct handoff
+	errc := make(chan error, 1)         // producer's terminal error, at most one
+	var blocked atomic.Int64            // live count for concurrent progress
+	var blockingDone atomic.Bool
+	var peak int // written by producer, read after windows closes
+	var blockingTime time.Duration
+	t0 := time.Now()
+	go func() {
+		defer close(windows)
+		buf := make([]entity.Pair, 0, window)
+		flush := func() bool {
+			if len(buf) > peak {
+				peak = len(buf)
+			}
+			select {
+			case windows <- buf:
+				buf = make([]entity.Pair, 0, window)
+				return true
+			case <-bctx.Done():
+				errc <- bctx.Err()
+				return false
+			}
+		}
+		for p, err := range blocking.Stream(bctx, blocker, tableA, tableB) {
+			if err != nil {
+				errc <- err
+				return
+			}
+			buf = append(buf, p)
+			n := blocked.Add(1)
+			if cfg.MaxCandidates > 0 && int(n) > cfg.MaxCandidates {
+				errc <- errCandidateCap(cfg.MaxCandidates)
+				return
+			}
+			if len(buf) == window {
+				if !flush() {
+					return
+				}
+			}
+		}
+		blockingTime = time.Since(t0)
+		blockingDone.Store(true)
+		if len(buf) > 0 {
+			flush()
+		}
+	}()
+
+	f := core.NewFromConfig(client, cfg.Matcher)
+	rep := &Report{}
+	agg := &core.Result{}
+	// With a shared pool, windows annotate overlapping demonstrations;
+	// each distinct pool pair is billed once across the whole run, as an
+	// unwindowed resolution would. (Self-pooled windows are disjoint, so
+	// their label costs sum directly.)
+	var sharedLabeled map[int]bool
+	if cfg.Pool != nil {
+		sharedLabeled = make(map[int]bool)
+	}
+	var matchingTime time.Duration
+	progress(cfg, Progress{Blocked: int(blocked.Load())}) // setup snapshot
+	// fail stops the producer and returns what was already matched and
+	// billed: nil only if no window completed (nothing partial to keep).
+	fail := func(err error) (*Report, error) {
+		bcancel()
+		for range windows { // unblock and drain the producer
+		}
+		// Safe reads: the drain guarantees the producer exited.
+		if rep.Candidates == 0 {
+			return nil, err
+		}
+		rep.Result = agg
+		rep.BlockingTime = blockingTime
+		rep.MatchingTime = matchingTime
+		rep.PeakBuffered = peak
+		return rep, err
+	}
+	for win := range windows {
+		pool := cfg.Pool
+		if pool == nil {
+			pool = win
+		}
+		t1 := time.Now()
+		res, err := f.Resolve(ctx, win, pool)
+		matchingTime += time.Since(t1)
+		if res != nil {
+			// Fold in even a partially-answered window, so billed spend
+			// and answered predictions survive a mid-window failure.
+			agg.Pred = append(agg.Pred, res.Pred...)
+			agg.PromptTokens += res.PromptTokens
+			agg.TrimmedDemos += res.TrimmedDemos
+			if sharedLabeled != nil {
+				agg.Ledger.MergeAPI(&res.Ledger)
+				fresh := 0
+				for _, di := range res.LabeledPool {
+					if !sharedLabeled[di] {
+						sharedLabeled[di] = true
+						fresh++
+					}
+				}
+				agg.Ledger.AddLabels(fresh)
+				agg.DemosLabeled += fresh
+			} else {
+				agg.Ledger.Merge(&res.Ledger)
+				agg.DemosLabeled += res.DemosLabeled
+			}
+			emitPairs(cfg, rep, win, res.Pred)
+			rep.Candidates += len(win)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("pipeline: matching: %w", err))
+		}
+		rep.Windows++
+		progress(cfg, Progress{
+			Blocked:      int(blocked.Load()),
+			BlockingDone: blockingDone.Load(),
+			Matched:      rep.Candidates,
+			Windows:      rep.Windows,
+			APIUSD:       agg.Ledger.API(),
+		})
+	}
+	rep.Result = agg
+	rep.BlockingTime = blockingTime
+	rep.MatchingTime = matchingTime
+	rep.PeakBuffered = peak
+	select {
+	case err := <-errc:
+		err = fmt.Errorf("pipeline: blocking: %w", err)
+		if rep.Candidates == 0 {
+			return nil, err
+		}
+		return rep, err
+	default:
+	}
+	progress(cfg, Progress{
+		Blocked: rep.Candidates, BlockingDone: true,
+		Matched: rep.Candidates, Windows: rep.Windows, APIUSD: agg.Ledger.API(),
+	})
+	return rep, nil
+}
+
+func progress(cfg Config, p Progress) {
+	if cfg.Progress != nil {
+		cfg.Progress(p)
+	}
 }
 
 // Summary renders a one-paragraph report.
