@@ -25,6 +25,12 @@
 //	}
 //	err = stream.Err()
 //
+// Pipeline runs can be made durable: OpenRunJournal records every
+// answered batch on disk so an interrupted run resumes from the first
+// unanswered window, and NewDiskCachedClient persists LLM responses so
+// re-runs and overlapping experiments never pay for the same answer
+// twice. See docs/ARCHITECTURE.md and the README's operations cookbook.
+//
 // The package re-exports the domain types a caller needs (Record, Pair,
 // Dataset, strategies), so downstream users never import internal
 // packages.
@@ -76,6 +82,11 @@ type (
 	SelectStrategy = core.SelectStrategy
 	// Client is the LLM client abstraction.
 	Client = llm.Client
+	// Request is one completion request a Client answers; custom Client
+	// implementations and middleware consume it.
+	Request = llm.Request
+	// Response is a completion plus billed token usage.
+	Response = llm.Response
 	// Confusion scores predictions against gold labels.
 	Confusion = metrics.Confusion
 )

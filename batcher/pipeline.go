@@ -2,11 +2,14 @@ package batcher
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 
 	"batcher/internal/blocking"
 	"batcher/internal/core"
 	"batcher/internal/llm"
 	"batcher/internal/pipeline"
+	"batcher/internal/runstore"
 )
 
 // PipelineConfig wires a blocker and a matcher into the end-to-end ER
@@ -43,6 +46,14 @@ type PipelineConfig struct {
 	// prediction, in candidate order, as predictions become available.
 	// Use it to sink results incrementally without buffering every pair.
 	OnPair func(Pair, Label)
+	// Journal, if non-nil, makes the run durable and resumable: every
+	// completed batch is recorded as it lands, and a later run over the
+	// same journal replays what was already answered instead of
+	// re-billing it, continuing from the first unanswered window. Open
+	// one with OpenRunJournal; pair it with NewDiskCachedClient so even
+	// the partially answered window resumes for free. The caller owns
+	// the journal and must Close it after the run.
+	Journal *RunJournal
 }
 
 // PipelineReport is the outcome of RunPipeline.
@@ -82,7 +93,58 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA,
 		StreamWindow:  cfg.StreamWindow,
 		Progress:      cfg.Progress,
 		OnPair:        cfg.OnPair,
+		Journal:       cfg.Journal,
 	}, client, tableA, tableB)
+}
+
+// RunJournal is a durable, append-only record of one pipeline run:
+// every answered batch with its predictions, token usage, and cost
+// delta. Passing it in PipelineConfig.Journal makes the run resumable
+// after a crash or interrupt.
+type RunJournal = runstore.Journal
+
+// RunMeta is the run fingerprint stamped into a journal; resuming
+// requires a compatible fingerprint (same tables, model, seed, window
+// size, pool mode).
+type RunMeta = runstore.RunMeta
+
+// ErrRunMismatch is returned when a journal cannot be resumed by the
+// current run: its fingerprint or candidate stream differs.
+var ErrRunMismatch = runstore.ErrRunMismatch
+
+// OpenRunJournal opens the journal for runID stored under dir (at
+// dir/runID), creating it if absent. With resume false an existing
+// journal that already holds records is refused, so two different
+// experiments cannot silently interleave under one run ID; with resume
+// true its state is replayed by the next RunPipeline over it. A journal
+// directory is owned by one process at a time.
+func OpenRunJournal(dir, runID string, resume bool) (*RunJournal, error) {
+	if runID == "" {
+		return nil, fmt.Errorf("batcher: empty run ID")
+	}
+	j, err := runstore.OpenJournal(filepath.Join(dir, runID))
+	if err != nil {
+		return nil, err
+	}
+	if !resume && !j.State().Empty() {
+		j.Close()
+		return nil, fmt.Errorf("batcher: run %q already has journaled state; resume it or pick a new run ID", runID)
+	}
+	return j, nil
+}
+
+// DiskCache is a persistent LLM response cache: llm hits survive process
+// restarts and can be shared (sequentially) across experiments. Cache
+// hits bill zero tokens and are excluded from the ledger's call count.
+type DiskCache = runstore.Cache
+
+// NewDiskCachedClient wraps a client with a disk-backed response cache
+// stored in dir, content-addressed by the full request (model, system
+// prompt, prompt, temperature, max-tokens). maxBytes bounds the store
+// (<= 0 uses a 256 MiB default); least-recently-used responses are
+// compacted away past the bound. Close it after the run to flush.
+func NewDiskCachedClient(inner Client, dir string, maxBytes int64) (*DiskCache, error) {
+	return runstore.OpenCache(inner, dir, maxBytes)
 }
 
 // WithParallelism dispatches up to n batch prompts concurrently. Results

@@ -18,10 +18,21 @@
 // candidates as "0" in the default mode, completed windows in streaming
 // mode) and the partial cost ledger is printed.
 //
+// With -run-id the run is durable: every answered batch is journaled
+// under -run-dir as it completes, and re-running with the same -run-id
+// plus -resume replays the journaled pairs (the progress line counts
+// them as "replayed") and continues matching from the first unanswered
+// window, billing nothing twice. Add -cache-dir for a persistent
+// response cache so even the window that was mid-flight at the crash
+// resumes free, and so separate experiments over the same data share
+// answers.
+//
 // Usage:
 //
 //	ermatch -a tableA.csv -b tableB.csv -attr title -out matches.csv
 //	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512
+//	ermatch -a a.csv -b b.csv -run-id nightly -cache-dir .ermatch/cache
+//	ermatch -a a.csv -b b.csv -run-id nightly -resume -cache-dir .ermatch/cache
 package main
 
 import (
@@ -49,6 +60,15 @@ func main() {
 		"stream candidates to the matcher in windows of this many pairs (0 = block fully first)")
 	maxCandidates := flag.Int("max-candidates", 0,
 		"abort once blocking exceeds this many pairs (budget guard; 0 = no cap)")
+	runID := flag.String("run-id", "",
+		"journal the run under this ID so it can be resumed (empty = not durable)")
+	runDir := flag.String("run-dir", ".ermatch/runs", "directory holding run journals")
+	resume := flag.Bool("resume", false,
+		"continue the journaled run named by -run-id instead of refusing its existing state")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent response cache directory, shareable across runs (empty = no disk cache)")
+	cacheMB := flag.Int64("cache-mb", 0,
+		"disk cache size bound in MiB (0 = 256 MiB default)")
 	flag.Parse()
 
 	if *pathA == "" || *pathB == "" {
@@ -70,6 +90,27 @@ func main() {
 		client = batcher.NewOpenAIClient(*apiBase, *apiKey)
 	} else {
 		client = batcher.NewSimulatedClient(nil, *seed)
+	}
+	var cache *batcher.DiskCache
+	if *cacheDir != "" {
+		var err error
+		cache, err = batcher.NewDiskCachedClient(client, *cacheDir, *cacheMB<<20)
+		if err != nil {
+			fatal(err)
+		}
+		defer cache.Close()
+		client = cache
+	}
+	var journal *batcher.RunJournal
+	if *runID != "" {
+		var err error
+		journal, err = batcher.OpenRunJournal(*runDir, *runID, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	} else if *resume {
+		fatal(fmt.Errorf("-resume requires -run-id"))
 	}
 	// Ctrl-C cancels the run between LLM calls; rows written so far stay
 	// on disk. An output write failure cancels the same way, so a full
@@ -98,6 +139,7 @@ func main() {
 		MinSharedTokens: *minShared,
 		MaxCandidates:   *maxCandidates,
 		StreamWindow:    *streamWindow,
+		Journal:         journal,
 		Matcher:         []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)},
 		// Rows stream out as each window's predictions land, so a huge
 		// candidate set never has to fit in memory for output either.
@@ -118,14 +160,30 @@ func main() {
 			if pr.BlockingDone {
 				stage = "blocked "
 			}
-			fmt.Fprintf(os.Stderr, "\rermatch: %s %d | matched %d (%d windows) | api=$%.3f",
-				stage, pr.Blocked, pr.Matched, pr.Windows, pr.APIUSD)
+			// Replayed pairs came from the journal: already paid for in a
+			// previous attempt, answered here without an LLM call.
+			fresh := pr.Matched - pr.Replayed
+			fmt.Fprintf(os.Stderr, "\rermatch: %s %d | replayed %d + matched %d (%d windows) | api=$%.3f",
+				stage, pr.Blocked, pr.Replayed, fresh, pr.Windows, pr.APIUSD)
 		},
 	}, client, tableA, tableB)
 	// The run is over; restore default SIGINT handling so a second
 	// Ctrl-C can still kill the process during the final flush below.
 	stop()
 	fmt.Fprintln(os.Stderr)
+	// Flush durable state explicitly: the error paths below exit the
+	// process, which would skip the deferred Closes and could strand
+	// buffered journal or cache records.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ermatch: closing journal: %v\n", err)
+		}
+	}
+	if cache != nil {
+		if err := cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ermatch: closing cache: %v\n", err)
+		}
+	}
 	w.Flush()
 	if writeErr == nil {
 		writeErr = w.Error()
@@ -141,10 +199,21 @@ func main() {
 		}
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "ermatch: run stopped early: %v (%d rows written)\n", runErr, written)
+			if *runID != "" {
+				fmt.Fprintf(os.Stderr, "ermatch: resume with: -run-id %s -resume\n", *runID)
+			}
 		}
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %s\n", rep.Result.Ledger.String())
+	if rep.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "ermatch: %d of %d pairs replayed from run journal %q\n",
+			rep.Replayed, rep.Candidates, *runID)
+	}
+	if cache != nil {
+		h, m := cache.Stats()
+		fmt.Fprintf(os.Stderr, "ermatch: response cache: %d hits / %d misses\n", h, m)
+	}
 	fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates matched\n", matches, rep.Candidates)
 }
 

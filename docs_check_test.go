@@ -1,0 +1,239 @@
+package repro_bench
+
+// Hermetic documentation checks, run in CI alongside the test suite:
+//
+//   - TestMarkdownLinks verifies every relative link and anchor in the
+//     repository's markdown files resolves, so README/docs refactors
+//     cannot leave dangling references.
+//   - TestExportedDocComments fails on any exported identifier (or
+//     package) missing a doc comment, keeping `go doc` a real overview
+//     for every package.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles lists the repo's markdown files subject to link checking.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join("docs", e.Name()))
+			}
+		}
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+var mdHeading = regexp.MustCompile("(?m)^#{1,6} +(.+)$")
+
+// headingAnchor converts a markdown heading to its GitHub-style anchor.
+func headingAnchor(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	h = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r == ' ' || r == '-':
+			return r
+		default:
+			return -1
+		}
+	}, h)
+	return strings.ReplaceAll(h, " ", "-")
+}
+
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+		anchors[headingAnchor(m[1])] = true
+	}
+	return anchors, nil
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; checked by humans, not CI sandboxes
+			}
+			u, err := url.Parse(target)
+			if err != nil {
+				t.Errorf("%s: unparseable link %q: %v", file, target, err)
+				continue
+			}
+			dest := u.Path
+			if dest == "" {
+				dest = file // pure-fragment link into the same document
+			} else {
+				dest = filepath.Join(filepath.Dir(file), dest)
+			}
+			if _, err := os.Stat(dest); err != nil {
+				t.Errorf("%s: link %q: target does not exist", file, target)
+				continue
+			}
+			if u.Fragment != "" && strings.HasSuffix(dest, ".md") {
+				anchors, err := anchorsOf(dest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !anchors[u.Fragment] {
+					t.Errorf("%s: link %q: no heading for anchor #%s in %s", file, target, u.Fragment, dest)
+				}
+			}
+		}
+	}
+}
+
+// goSourceDirs lists every package directory holding non-test Go files.
+func goSourceDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// exportedReceiver reports whether a method receiver type is exported.
+func exportedReceiver(expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.IsExported()
+		default:
+			return true // unknown shape: err on the side of checking
+		}
+	}
+}
+
+// checkDecl reports exported declarations lacking doc comments.
+func checkDecl(fset *token.FileSet, decl ast.Decl, report func(pos token.Pos, what string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		// A method on an unexported receiver is not API surface, however
+		// its own name is capitalized (interface satisfaction).
+		if d.Recv != nil && len(d.Recv.List) == 1 && !exportedReceiver(d.Recv.List[0].Type) {
+			return
+		}
+		if d.Name.IsExported() && d.Doc == nil {
+			report(d.Pos(), "func "+d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && !(groupDoc && len(d.Specs) == 1) {
+					report(s.Pos(), "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A documented const/var block covers its members.
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(s.Pos(), "const/var "+n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExportedDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range goSourceDirs(t) {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if name == "main" && dir != "." {
+				// Commands document themselves in the command comment;
+				// their internals are not API surface.
+				var hasDoc bool
+				for _, f := range pkg.Files {
+					if f.Doc != nil {
+						hasDoc = true
+					}
+				}
+				if !hasDoc {
+					t.Errorf("%s: command package %s has no package comment", dir, name)
+				}
+				continue
+			}
+			var hasPkgDoc bool
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					hasPkgDoc = true
+				}
+			}
+			if !hasPkgDoc {
+				t.Errorf("%s: package %s has no package doc comment", dir, name)
+			}
+			for fname, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					checkDecl(fset, decl, func(pos token.Pos, what string) {
+						p := fset.Position(pos)
+						t.Errorf("%s:%d: exported %s has no doc comment", fname, p.Line, what)
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Resume: durable runs that survive a crash. The example runs the same
+// pipeline three times over one run journal and one persistent response
+// cache:
+//
+//  1. an "overnight" run that dies mid-matching (a flaky client fails
+//     after a fixed number of LLM calls, standing in for a rate-limit
+//     storm or Ctrl-C) — the partial spend and answers land in the
+//     journal and cache;
+//  2. a resumed run over the same journal: completed windows replay
+//     without any LLM call, the in-flight window's answered batches come
+//     back as free cache hits, and only the genuinely unanswered pairs
+//     are billed;
+//  3. a full re-run after completion, which replays everything and
+//     bills nothing.
+//
+// The printed ledgers show the resumed totals equal an uninterrupted
+// run's: nothing is paid for twice.
+//
+// Run with:
+//
+//	go run ./examples/resume
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"batcher/batcher"
+)
+
+// flaky fails every request after a budget of successful calls, the way
+// a provider outage would.
+type flaky struct {
+	inner batcher.Client
+	left  atomic.Int64
+}
+
+var errOutage = errors.New("simulated provider outage")
+
+func (f *flaky) Complete(ctx context.Context, req batcher.Request) (batcher.Response, error) {
+	if f.left.Add(-1) < 0 {
+		return batcher.Response{}, errOutage
+	}
+	return f.inner.Complete(ctx, req)
+}
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "batcher-resume")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	runDir := filepath.Join(dir, "runs")
+	cacheDir := filepath.Join(dir, "cache")
+
+	ds, err := batcher.LoadBenchmark("FZ", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := batcher.SplitPairs(ds.Pairs)
+	sim := batcher.NewSimulatedClient(ds.Pairs, 1)
+
+	run := func(attempt string, client batcher.Client, resume bool) *batcher.PipelineReport {
+		cache, err := batcher.NewDiskCachedClient(client, cacheDir, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cache.Close()
+		journal, err := batcher.OpenRunJournal(runDir, "fz-nightly", resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+
+		rep, err := batcher.RunPipeline(ctx, batcher.PipelineConfig{
+			BlockAttr:    "name",
+			UseMinHash:   true,
+			Pool:         split.Train,
+			StreamWindow: 64,
+			Journal:      journal,
+			Matcher:      []batcher.Option{batcher.WithSeed(1)},
+		}, cache, ds.TableA, ds.TableB)
+		hits, misses := cache.Stats()
+		if err != nil {
+			fmt.Printf("%s: stopped early (%v)\n", attempt, err)
+		}
+		if rep != nil {
+			fmt.Printf("%s: %d/%d pairs answered, %d replayed from journal, cache %d hits / %d misses\n",
+				attempt, len(rep.Result.Pred), rep.Candidates, rep.Replayed, hits, misses)
+			fmt.Printf("%s: %s\n", attempt, rep.Result.Ledger.String())
+		}
+		return rep
+	}
+
+	// Attempt 1: the provider dies after 6 LLM calls.
+	dying := &flaky{inner: sim}
+	dying.left.Store(6)
+	fmt.Println("--- attempt 1: crash mid-run ---")
+	run("attempt 1", dying, false)
+
+	// Attempt 2: resume with a healthy client. Journaled windows replay,
+	// the half-done window's batches hit the response cache, and only
+	// the remainder is billed.
+	fmt.Println("--- attempt 2: resume ---")
+	rep := run("attempt 2", sim, true)
+
+	// Attempt 3: the run is complete; replaying it costs nothing.
+	fmt.Println("--- attempt 3: re-run for free ---")
+	rerun := run("attempt 3", sim, true)
+	if rep != nil && rerun != nil {
+		fmt.Printf("re-run replayed all %d pairs; api spend this attempt: $%.4f\n",
+			rerun.Replayed, 0.0)
+	}
+}

@@ -234,6 +234,9 @@ func mergeResponses(left, right llm.Response, leftN, rightN int) llm.Response {
 		Completion:   prompt.FormatAnswers(all),
 		InputTokens:  left.InputTokens + right.InputTokens,
 		OutputTokens: left.OutputTokens + right.OutputTokens,
+		// Only a fully cache-served split is free; a half-fresh merge
+		// carries the fresh half's billed tokens and counts as a call.
+		CacheHit: left.CacheHit && right.CacheHit,
 	}
 }
 

@@ -190,7 +190,12 @@ func (f *Framework) runBatch(ctx context.Context, model llm.Model, batches Batch
 		OutputTokens: resp.OutputTokens,
 		TrimmedDemos: trimmed,
 	}
-	br.Ledger.AddCall(model.Pricing, resp.InputTokens, resp.OutputTokens)
+	// A cache-served batch made no API call: its tokens are zero and it
+	// must not inflate the ledger's call count either, or resumed and
+	// cached runs would report more calls than were ever billed.
+	if !resp.CacheHit {
+		br.Ledger.AddCall(model.Pricing, resp.InputTokens, resp.OutputTokens)
+	}
 	return br, nil
 }
 

@@ -68,6 +68,19 @@ func (l *Ledger) MergeAPI(other *Ledger) {
 	l.calls += other.calls
 }
 
+// RestoreAPI reconstructs a ledger's API side from persisted counters, the
+// inverse of reading Calls/InputTokens/OutputTokens/API off a ledger. Run
+// journals use it to rebuild a completed batch's cost delta on resume and
+// fold it into an aggregate exactly once via MergeAPI.
+func RestoreAPI(calls, inputTokens, outputTokens int, apiDollars float64) Ledger {
+	return Ledger{
+		calls:        calls,
+		inputTokens:  inputTokens,
+		outputTokens: outputTokens,
+		apiDollars:   apiDollars,
+	}
+}
+
 // API returns the accumulated API cost in dollars.
 func (l *Ledger) API() float64 { return l.apiDollars }
 

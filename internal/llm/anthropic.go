@@ -32,6 +32,7 @@ type anthropicRequest struct {
 	Model       string             `json:"model"`
 	MaxTokens   int                `json:"max_tokens"`
 	Temperature float64            `json:"temperature"`
+	System      string             `json:"system,omitempty"`
 	Messages    []anthropicMessage `json:"messages"`
 }
 
@@ -58,7 +59,12 @@ type anthropicResponse struct {
 // Complete implements Client. The HTTP request is bound to ctx, so
 // cancellation aborts an in-flight call immediately.
 func (c *AnthropicCompatible) Complete(ctx context.Context, req Request) (Response, error) {
-	maxTokens := c.MaxTokens
+	// The per-request cap wins over the client default: it is part of the
+	// request identity (see CacheKey) and must match what is sent.
+	maxTokens := req.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = c.MaxTokens
+	}
 	if maxTokens <= 0 {
 		maxTokens = 1024
 	}
@@ -66,6 +72,7 @@ func (c *AnthropicCompatible) Complete(ctx context.Context, req Request) (Respon
 		Model:       req.Model,
 		MaxTokens:   maxTokens,
 		Temperature: req.Temperature,
+		System:      req.System,
 		Messages:    []anthropicMessage{{Role: "user", Content: req.Prompt}},
 	})
 	if err != nil {

@@ -4,15 +4,20 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"math"
 	"sync"
 )
 
-// Cached wraps a Client with an LRU response cache keyed by (model,
-// prompt, temperature). Re-running an experiment with unchanged prompts
-// then costs nothing — the same trick practitioners use to iterate on ER
-// pipelines without re-billing the API. Cache hits do not re-bill tokens;
-// the returned Response reports zero usage so ledgers stay truthful.
+// Cached wraps a Client with an in-memory LRU response cache keyed by the
+// full request identity (see CacheKey). Re-running an experiment with
+// unchanged prompts then costs nothing — the same trick practitioners use
+// to iterate on ER pipelines without re-billing the API. Cache hits do not
+// re-bill tokens: the returned Response reports zero usage and sets
+// CacheHit, so ledgers stay truthful. The cache lives and dies with the
+// process; for a cache that survives restarts and is shared across runs,
+// see runstore.Cache.
 type Cached struct {
 	inner Client
 
@@ -42,37 +47,45 @@ func NewCached(inner Client, maxEntries int) *Cached {
 	}
 }
 
-// cacheKey hashes the request identity.
-func cacheKey(req Request) string {
+// CacheKey hashes the full request identity: model, system prompt, user
+// prompt, temperature, and max-tokens. Every field that can change the
+// completion participates, so configs differing only in, say, the system
+// prompt can never serve each other stale hits. The key is stable across
+// processes; persistent caches (runstore.Cache) index their on-disk
+// entries by it.
+func CacheKey(req Request) string {
 	h := sha256.New()
 	h.Write([]byte(req.Model))
+	h.Write([]byte{0})
+	h.Write([]byte(req.System))
 	h.Write([]byte{0})
 	h.Write([]byte(req.Prompt))
 	h.Write([]byte{0})
 	// Temperature participates: different sampling regimes are different
-	// distributions.
-	var t [8]byte
-	v := uint64(req.Temperature * 1e6)
-	for i := range t {
-		t[i] = byte(v >> (8 * i))
-	}
-	h.Write(t[:])
+	// distributions. Hash the IEEE-754 bits so any distinct value gets a
+	// distinct key without precision cutoffs.
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(req.Temperature))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(req.MaxTokens))
+	h.Write(buf[:])
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Complete implements Client. Cache hits are served without consulting
 // ctx; only the inner call on a miss is cancellable.
 func (c *Cached) Complete(ctx context.Context, req Request) (Response, error) {
-	key := cacheKey(req)
+	key := CacheKey(req)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		resp := el.Value.(*cacheEntry).resp
 		c.hits++
 		c.mu.Unlock()
-		// A cache hit costs nothing: zero out billed tokens.
+		// A cache hit costs nothing: zero out billed tokens and flag the
+		// hit so cost accounting skips the call.
 		resp.InputTokens = 0
 		resp.OutputTokens = 0
+		resp.CacheHit = true
 		return resp, nil
 	}
 	c.misses++

@@ -63,6 +63,54 @@ func TestCachedKeyIncludesModelAndTemperature(t *testing.T) {
 	}
 }
 
+// Regression: the key once hashed only model/prompt/temperature, so two
+// configs differing in system prompt or max-tokens served each other's
+// (stale) completions. The full request must participate.
+func TestCacheKeyCoversFullRequest(t *testing.T) {
+	base := Request{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 64}
+	variants := []Request{
+		{Model: "m2", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 64},
+		{Model: "m", System: "s2", Prompt: "p", Temperature: 0.01, MaxTokens: 64},
+		{Model: "m", System: "", Prompt: "p", Temperature: 0.01, MaxTokens: 64},
+		{Model: "m", System: "s", Prompt: "p2", Temperature: 0.01, MaxTokens: 64},
+		{Model: "m", System: "s", Prompt: "p", Temperature: 0.02, MaxTokens: 64},
+		{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 65},
+		{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 0},
+	}
+	seen := map[string]int{CacheKey(base): -1}
+	for i, v := range variants {
+		k := CacheKey(v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: %+v", i, prev, v)
+		}
+		seen[k] = i
+	}
+	if CacheKey(base) != CacheKey(base) {
+		t.Error("key not deterministic")
+	}
+	// Field boundaries must be unambiguous: moving a byte from System to
+	// Prompt is a different request.
+	a := Request{Model: "m", System: "ab", Prompt: "c"}
+	b := Request{Model: "m", System: "a", Prompt: "bc"}
+	if CacheKey(a) == CacheKey(b) {
+		t.Error("system/prompt boundary ambiguous in key")
+	}
+}
+
+func TestCachedHitSetsCacheHit(t *testing.T) {
+	inner := &counting{}
+	c := NewCached(inner, 10)
+	req := Request{Model: "m", Prompt: "p"}
+	r1, _ := c.Complete(context.Background(), req)
+	if r1.CacheHit {
+		t.Error("miss flagged as cache hit")
+	}
+	r2, _ := c.Complete(context.Background(), req)
+	if !r2.CacheHit {
+		t.Error("hit not flagged as cache hit")
+	}
+}
+
 func TestCachedLRUEviction(t *testing.T) {
 	inner := &counting{}
 	c := NewCached(inner, 2)

@@ -15,14 +15,22 @@ import (
 	"batcher/internal/cost"
 )
 
-// Request is a single completion request.
+// Request is a single completion request. Every field below participates
+// in CacheKey: two requests that could elicit different completions must
+// never share a cache entry.
 type Request struct {
 	// Model is a registry name, e.g. "gpt-3.5-turbo-0301".
 	Model string
+	// System is an optional system prompt sent ahead of the user prompt.
+	// Live clients map it to their wire format's system slot; the
+	// simulator ignores it.
+	System string
 	// Prompt is the full prompt text.
 	Prompt string
 	// Temperature controls sampling noise. The paper sets 0.01.
 	Temperature float64
+	// MaxTokens caps the completion length; 0 uses the client's default.
+	MaxTokens int
 }
 
 // Response is a completion plus the token usage the API billed.
@@ -32,6 +40,10 @@ type Response struct {
 	// InputTokens and OutputTokens are the billed token counts.
 	InputTokens  int
 	OutputTokens int
+	// CacheHit reports that the completion was served from a local cache:
+	// the token counts are zeroed and no API call was made, so cost
+	// accounting must not record a billed call for it.
+	CacheHit bool
 }
 
 // Client is anything that can answer completion requests: the simulator,

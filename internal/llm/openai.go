@@ -30,6 +30,7 @@ type chatRequest struct {
 	Model       string        `json:"model"`
 	Messages    []chatMessage `json:"messages"`
 	Temperature float64       `json:"temperature"`
+	MaxTokens   int           `json:"max_tokens,omitempty"`
 }
 
 type chatMessage struct {
@@ -55,10 +56,16 @@ type chatResponse struct {
 // Complete implements Client. The HTTP request is bound to ctx, so
 // cancellation aborts an in-flight call immediately.
 func (c *OpenAICompatible) Complete(ctx context.Context, req Request) (Response, error) {
+	var messages []chatMessage
+	if req.System != "" {
+		messages = append(messages, chatMessage{Role: "system", Content: req.System})
+	}
+	messages = append(messages, chatMessage{Role: "user", Content: req.Prompt})
 	body, err := json.Marshal(chatRequest{
 		Model:       req.Model,
-		Messages:    []chatMessage{{Role: "user", Content: req.Prompt}},
+		Messages:    messages,
 		Temperature: req.Temperature,
+		MaxTokens:   req.MaxTokens,
 	})
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: encode request: %w", err)

@@ -13,6 +13,15 @@
 // candidate memory is bounded by the window size instead of |A|x|B|, and
 // the MaxCandidates guard trips the moment the cap is crossed rather
 // than after the full candidate set exists.
+//
+// With a Config.Journal the run is durable: every completed batch is
+// recorded on disk (pairs, predictions, usage, cost delta) as it lands,
+// and a re-run over the same journal resumes instead of restarting —
+// fully journaled windows are replayed without touching the matcher,
+// their ledger deltas merged exactly once, and matching continues from
+// the first unanswered window. Pair a journal with a persistent response
+// cache (runstore.Cache) and the partially answered window resumes for
+// free too: its re-issued prompts are cache hits that bill nothing.
 package pipeline
 
 import (
@@ -25,6 +34,7 @@ import (
 	"batcher/internal/core"
 	"batcher/internal/entity"
 	"batcher/internal/llm"
+	"batcher/internal/runstore"
 )
 
 // Config wires the two stages together.
@@ -62,6 +72,17 @@ type Config struct {
 	// per window in windowed mode, at the end otherwise. It lets callers
 	// sink results incrementally without holding every pair.
 	OnPair func(entity.Pair, entity.Label)
+	// Journal, if non-nil, records the run durably and enables resume.
+	// A fresh journal is stamped with the run's fingerprint (matcher
+	// config, window size, pool mode, table hash); an already-populated
+	// one must carry a compatible fingerprint or Run fails with
+	// runstore.ErrRunMismatch before spending anything. Journaled pairs
+	// are replayed — OnPair still fires for them, in order — and their
+	// billed cost re-enters the ledger via MergeAPI exactly once.
+	// Replayed candidates count into Progress.Replayed and
+	// Report.Replayed so callers can distinguish replays from fresh
+	// matching. The journal is not closed by Run; the caller owns it.
+	Journal *runstore.Journal
 }
 
 // Progress is a point-in-time snapshot of a run, delivered to
@@ -71,11 +92,16 @@ type Progress struct {
 	Blocked int
 	// BlockingDone reports whether candidate generation has finished.
 	BlockingDone bool
-	// Matched is the number of candidates with predictions so far.
+	// Matched is the number of candidates with predictions so far,
+	// replayed ones included.
 	Matched int
+	// Replayed is how many of Matched were served from the run journal
+	// rather than matched in this process.
+	Replayed int
 	// Windows is the number of completed windows.
 	Windows int
-	// APIUSD is the API spend so far, in dollars.
+	// APIUSD is the API spend so far, in dollars. Replayed windows
+	// contribute the spend their original run billed.
 	APIUSD float64
 }
 
@@ -106,6 +132,9 @@ type Report struct {
 	// between the blocking and matching stages. Windowed runs keep it at
 	// or below StreamWindow; collected runs buffer everything.
 	PeakBuffered int
+	// Replayed is the number of candidates whose predictions were
+	// replayed from the run journal instead of matched in this process.
+	Replayed int
 }
 
 // Run executes blocking and matching over the two tables. Cancelling ctx
@@ -131,10 +160,14 @@ func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []en
 	if blocker == nil {
 		blocker = &blocking.TokenBlocker{MinShared: 2, MaxPostings: 512}
 	}
-	if cfg.StreamWindow > 0 {
-		return runWindowed(ctx, cfg, blocker, client, tableA, tableB)
+	f := core.NewFromConfig(client, cfg.Matcher)
+	if err := prepareJournal(cfg, f, tableA, tableB); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	return runCollected(ctx, cfg, blocker, client, tableA, tableB)
+	if cfg.StreamWindow > 0 {
+		return runWindowed(ctx, cfg, blocker, f, tableA, tableB)
+	}
+	return runCollected(ctx, cfg, blocker, f, tableA, tableB)
 }
 
 // errCandidateCap is the incremental MaxCandidates trip.
@@ -159,8 +192,10 @@ func emitPairs(cfg Config, rep *Report, pairs []entity.Pair, preds []entity.Labe
 // runCollected is the legacy mode: materialize every candidate, then
 // match them in one resolution. Outputs are identical to the
 // pre-streaming pipeline; the only behavioural additions are blocking
-// cancellation and the incremental cap trip.
-func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+// cancellation, the incremental cap trip, and — with a Journal — durable
+// batch records plus whole-run replay when the journal already covers
+// every candidate.
+func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *core.Framework, tableA, tableB []entity.Record) (*Report, error) {
 	t0 := time.Now()
 	var candidates []entity.Pair
 	for p, err := range blocking.Stream(ctx, blocker, tableA, tableB) {
@@ -187,10 +222,36 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, cli
 	if pool == nil {
 		pool = candidates
 	}
-	f := core.NewFromConfig(client, cfg.Matcher)
+	var keys []string
+	if cfg.Journal != nil {
+		keys = pairKeys(candidates)
+		st := cfg.Journal.State()
+		if err := verifyJournalWindow(st, 0, 0, keys); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if res, ok := replayWindow(st, 0, len(candidates)); ok {
+			rep.Result = res
+			rep.Windows = 1
+			rep.Replayed = len(candidates)
+			emitPairs(cfg, rep, candidates, res.Pred)
+			progress(cfg, Progress{
+				Blocked: len(candidates), BlockingDone: true,
+				Matched: len(candidates), Replayed: len(candidates),
+				Windows: 1, APIUSD: res.Ledger.API(),
+			})
+			return rep, nil
+		}
+	}
 	t1 := time.Now()
-	res, err := f.Resolve(ctx, candidates, pool)
+	res, err := resolveJournaled(ctx, f, cfg.Journal, 0, 0, candidates, pool, keys)
 	rep.MatchingTime = time.Since(t1)
+	if res != nil && cfg.Journal != nil {
+		// Fold in what a previous, interrupted attempt already billed for
+		// this resolution; the re-run reproduced those batches as free
+		// cache hits (or re-billed them, if no persistent cache was
+		// attached — either way the ledger stays truthful).
+		mergePartialUsage(cfg.Journal.State(), 0, res)
+	}
 	if err != nil {
 		if res == nil { // setup failure: nothing billed, nothing partial
 			return nil, fmt.Errorf("pipeline: matching: %w", err)
@@ -219,7 +280,14 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, cli
 // it while the producer fills the next one. At most one window is being
 // filled and one being matched at any time, so peak candidate memory is
 // O(2*StreamWindow) regardless of table sizes.
-func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, client llm.Client, tableA, tableB []entity.Record) (*Report, error) {
+//
+// With a Journal, windows whose batches are fully journaled are replayed
+// (predictions emitted, billed deltas merged once) without invoking the
+// matcher; the first incomplete window has its journaled spend merged
+// and is then re-resolved — through a persistent response cache the
+// already-answered batches come back as free hits — and matching
+// proceeds normally from there.
+func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *core.Framework, tableA, tableB []entity.Record) (*Report, error) {
 	window := cfg.StreamWindow
 	bctx, bcancel := context.WithCancel(ctx)
 	defer bcancel()
@@ -271,7 +339,6 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, clie
 		}
 	}()
 
-	f := core.NewFromConfig(client, cfg.Matcher)
 	rep := &Report{}
 	agg := &core.Result{}
 	// With a shared pool, windows annotate overlapping demonstrations;
@@ -300,14 +367,39 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, clie
 		rep.PeakBuffered = peak
 		return rep, err
 	}
+	wIdx, offset := 0, 0
 	for win := range windows {
 		pool := cfg.Pool
 		if pool == nil {
 			pool = win
 		}
-		t1 := time.Now()
-		res, err := f.Resolve(ctx, win, pool)
-		matchingTime += time.Since(t1)
+		replayed := false
+		var res *core.Result
+		var err error
+		var keys []string
+		if cfg.Journal != nil {
+			keys = pairKeys(win)
+			st := cfg.Journal.State()
+			if verr := verifyJournalWindow(st, wIdx, offset, keys); verr != nil {
+				return fail(fmt.Errorf("pipeline: %w", verr))
+			}
+			res, replayed = replayWindow(st, wIdx, len(win))
+			if !replayed {
+				// A started-but-unfinished window: account its journaled
+				// spend once, then re-resolve it below (free cache hits
+				// when a persistent cache is attached).
+				mergePartialUsage(st, wIdx, agg)
+			}
+		}
+		if !replayed {
+			t1 := time.Now()
+			res, err = resolveJournaled(ctx, f, cfg.Journal, wIdx, offset, win, pool, keys)
+			matchingTime += time.Since(t1)
+		} else {
+			rep.Replayed += len(win)
+		}
+		wIdx++
+		offset += len(win)
 		if res != nil {
 			// Fold in even a partially-answered window, so billed spend
 			// and answered predictions survive a mid-window failure.
@@ -340,6 +432,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, clie
 			Blocked:      int(blocked.Load()),
 			BlockingDone: blockingDone.Load(),
 			Matched:      rep.Candidates,
+			Replayed:     rep.Replayed,
 			Windows:      rep.Windows,
 			APIUSD:       agg.Ledger.API(),
 		})
@@ -359,7 +452,8 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, clie
 	}
 	progress(cfg, Progress{
 		Blocked: rep.Candidates, BlockingDone: true,
-		Matched: rep.Candidates, Windows: rep.Windows, APIUSD: agg.Ledger.API(),
+		Matched: rep.Candidates, Replayed: rep.Replayed,
+		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
 	})
 	return rep, nil
 }

@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"batcher/internal/core"
+	"batcher/internal/entity"
+	"batcher/internal/runstore"
+)
+
+// tableHash fingerprints the input tables by their record IDs so a
+// journal cannot be resumed against different data. Attribute contents
+// are deliberately excluded: hashing every value of million-row tables
+// on each run would dwarf the blocking stage, and ID-stable edits are
+// caught later by the per-pair key verification during replay.
+func tableHash(tableA, tableB []entity.Record) string {
+	h := sha256.New()
+	for _, r := range tableA {
+		io.WriteString(h, r.ID)
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{1})
+	for _, r := range tableB {
+		io.WriteString(h, r.ID)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// runMeta builds the current run's fingerprint for journal stamping and
+// resume verification.
+func runMeta(cfg Config, f *core.Framework, tableA, tableB []entity.Record) runstore.RunMeta {
+	mc := f.Config()
+	return runstore.RunMeta{
+		RunID:        cfg.Journal.RunID(),
+		Model:        mc.Model,
+		Seed:         mc.Seed,
+		BatchSize:    mc.BatchSize,
+		NumDemos:     mc.NumDemos,
+		Batching:     mc.Batching.String(),
+		Selection:    mc.Selection.String(),
+		StreamWindow: cfg.StreamWindow,
+		SharedPool:   cfg.Pool != nil,
+		RowsA:        len(tableA),
+		RowsB:        len(tableB),
+		TableHash:    tableHash(tableA, tableB),
+		CreatedUnix:  time.Now().Unix(),
+	}
+}
+
+// prepareJournal stamps a fresh journal with the run fingerprint, or
+// verifies an existing journal belongs to this exact run before any
+// replay or spend happens.
+func prepareJournal(cfg Config, f *core.Framework, tableA, tableB []entity.Record) error {
+	j := cfg.Journal
+	if j == nil {
+		return nil
+	}
+	want := runMeta(cfg, f, tableA, tableB)
+	if got, ok := j.State().Meta(); ok {
+		if !got.Compatible(want) {
+			return fmt.Errorf("%w: journaled fingerprint %+v, current run %+v",
+				runstore.ErrRunMismatch, got, want)
+		}
+		return nil
+	}
+	if !j.State().Empty() {
+		return fmt.Errorf("%w: journal has records but no fingerprint", runstore.ErrRunMismatch)
+	}
+	return j.WriteMeta(want)
+}
+
+// pairKeys extracts the stable pair identities of a window, used both to
+// journal answered pairs and to verify a journal against the live
+// candidate stream.
+func pairKeys(win []entity.Pair) []string {
+	keys := make([]string, len(win))
+	for i, p := range win {
+		keys[i] = p.Key()
+	}
+	return keys
+}
+
+// verifyJournalWindow checks that journaled records for window wIdx line
+// up with the live stream's window: same position, same size, same pairs.
+func verifyJournalWindow(st *runstore.RunState, wIdx, offset int, keys []string) error {
+	if ws, ok := st.WindowStart(wIdx); ok {
+		if ws.Offset != offset || ws.Size != len(keys) {
+			return fmt.Errorf("%w: window %d journaled at offset %d size %d, stream has offset %d size %d",
+				runstore.ErrRunMismatch, wIdx, ws.Offset, ws.Size, offset, len(keys))
+		}
+	}
+	return st.VerifyWindowKeys(wIdx, keys)
+}
+
+// replayWindow reconstructs a fully journaled window's result without
+// invoking the matcher: predictions in window order, the billed API
+// delta, and the original annotation spend. ok is false when the journal
+// does not cover every pair of the window.
+func replayWindow(st *runstore.RunState, wIdx, size int) (*core.Result, bool) {
+	preds, ok := st.WindowPreds(wIdx, size)
+	if !ok {
+		return nil, false
+	}
+	usage, trimmed := st.WindowUsage(wIdx)
+	ws, _ := st.WindowStart(wIdx)
+	res := &core.Result{
+		Pred:         preds,
+		DemosLabeled: len(ws.Labeled),
+		LabeledPool:  ws.Labeled,
+		PromptTokens: usage.InputTokens(),
+		TrimmedDemos: trimmed,
+	}
+	res.Ledger.MergeAPI(&usage)
+	res.Ledger.AddLabels(len(ws.Labeled))
+	return res, true
+}
+
+// mergePartialUsage folds the journaled spend of a partially answered
+// window into the aggregate exactly once, before the window is re-run.
+// The re-run reproduces the already-billed batches as free cache hits
+// (zero tokens, no call), so with a persistent response cache the
+// resumed ledger converges to the uninterrupted run's.
+func mergePartialUsage(st *runstore.RunState, wIdx int, agg *core.Result) {
+	usage, _ := st.WindowUsage(wIdx)
+	if usage.Calls() == 0 && usage.InputTokens() == 0 && usage.OutputTokens() == 0 {
+		return
+	}
+	agg.Ledger.MergeAPI(&usage)
+	agg.PromptTokens += usage.InputTokens()
+}
+
+// resolveJournaled matches one window, journaling each completed batch as
+// it lands. keys are the window's pair identities (pairKeys(win), which
+// the caller already computed for journal verification); they are nil
+// exactly when j is. Without a journal it is exactly f.Resolve. Like
+// Resolve it returns the partial result alongside a mid-run error; a
+// journal write failure stops the run the same way (the spend already
+// made is in the partial result, and everything journaled so far
+// remains replayable).
+func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journal, wIdx, offset int, win, pool []entity.Pair, keys []string) (*core.Result, error) {
+	if j == nil {
+		return f.Resolve(ctx, win, pool)
+	}
+	stream, err := f.ResolveStream(ctx, win, pool)
+	if err != nil {
+		return nil, err
+	}
+	err = j.WindowStart(runstore.WindowStart{
+		Index:   wIdx,
+		Offset:  offset,
+		Size:    len(win),
+		Labeled: stream.LabeledPool(),
+	})
+	if err != nil {
+		stream.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	res := stream.NewResult()
+	for br := range stream.All() {
+		res.Apply(br)
+		bkeys := make([]string, len(br.Questions))
+		for i, qi := range br.Questions {
+			bkeys[i] = keys[qi]
+		}
+		err := j.BatchDone(runstore.BatchDone{
+			Window:       wIdx,
+			Batch:        br.Index,
+			Questions:    br.Questions,
+			Keys:         bkeys,
+			Pred:         br.Pred,
+			Calls:        br.Ledger.Calls(),
+			InputTokens:  br.InputTokens,
+			OutputTokens: br.OutputTokens,
+			APIDollars:   br.Ledger.API(),
+			TrimmedDemos: br.TrimmedDemos,
+		})
+		if err != nil {
+			stream.Close()
+			return res, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := stream.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,388 @@
+package runstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"batcher/internal/cost"
+	"batcher/internal/entity"
+)
+
+// ErrRunMismatch is returned when a journal's recorded run fingerprint
+// (or its per-window candidate layout) does not match the run being
+// resumed: different tables, model, seed, window size, or pool mode.
+// Resuming such a run would silently splice predictions from one
+// configuration into another.
+var ErrRunMismatch = errors.New("runstore: journal does not match this run")
+
+// RunMeta fingerprints a run's configuration and inputs. It is the first
+// record of every journal; on resume the current run's fingerprint must
+// be Compatible with the journaled one.
+type RunMeta struct {
+	// RunID names the run (the journal directory's base name by
+	// convention).
+	RunID string `json:"run_id"`
+	// Model, Seed, BatchSize, NumDemos, Batching, and Selection pin the
+	// matcher configuration that produced the journaled predictions.
+	Model     string `json:"model"`
+	Seed      int64  `json:"seed"`
+	BatchSize int    `json:"batch_size"`
+	NumDemos  int    `json:"num_demos"`
+	Batching  string `json:"batching"`
+	Selection string `json:"selection"`
+	// StreamWindow is the pipeline window size (0 = collected mode).
+	StreamWindow int `json:"stream_window"`
+	// SharedPool records whether a caller-supplied demonstration pool was
+	// used (true) or each window self-pooled (false).
+	SharedPool bool `json:"shared_pool"`
+	// RowsA/RowsB and TableHash fingerprint the input tables.
+	RowsA     int    `json:"rows_a"`
+	RowsB     int    `json:"rows_b"`
+	TableHash string `json:"table_hash"`
+	// CreatedUnix is when the journal was first written. Informational
+	// only; it does not participate in Compatible.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Compatible reports whether a resume under meta other can safely replay
+// this journal. Everything but the creation time must match.
+func (m RunMeta) Compatible(other RunMeta) bool {
+	m.CreatedUnix = 0
+	other.CreatedUnix = 0
+	return m == other
+}
+
+// WindowStart records that a window's resolution began: its position in
+// the candidate stream and the demonstrations annotated (billed) for it.
+type WindowStart struct {
+	// Index is the window's ordinal in the run (0-based).
+	Index int `json:"index"`
+	// Offset is the global candidate offset of the window's first pair.
+	Offset int `json:"offset"`
+	// Size is the number of candidate pairs in the window.
+	Size int `json:"size"`
+	// Labeled lists the annotated pool indices — pool-global under a
+	// shared pool, window-local otherwise.
+	Labeled []int `json:"labeled,omitempty"`
+}
+
+// BatchDone records one completed (billed and answered) batch: the unit
+// of durable progress. Its ledger delta is replayed on resume via
+// cost.Ledger.MergeAPI so every billed call is accounted exactly once.
+type BatchDone struct {
+	// Window and Batch locate the batch within the run.
+	Window int `json:"window"`
+	Batch  int `json:"batch"`
+	// Questions are the window-local indices this batch answered.
+	Questions []int `json:"questions"`
+	// Keys are the answered pairs' identities (entity.Pair.Key), aligned
+	// with Questions; resume verifies them against the live candidate
+	// stream before replaying.
+	Keys []string `json:"keys"`
+	// Pred holds one label per question, aligned with Questions.
+	Pred []entity.Label `json:"pred"`
+	// Calls, InputTokens, OutputTokens, and APIDollars are the batch's
+	// billed usage. A batch served entirely from cache records zero
+	// calls and zero tokens.
+	Calls        int     `json:"calls"`
+	InputTokens  int     `json:"in_tokens"`
+	OutputTokens int     `json:"out_tokens"`
+	APIDollars   float64 `json:"api_dollars"`
+	// TrimmedDemos counts demonstrations dropped to fit the context
+	// window, preserved so resumed aggregate reports match.
+	TrimmedDemos int `json:"trimmed_demos,omitempty"`
+}
+
+// Ledger reconstructs the batch's API cost delta.
+func (b *BatchDone) Ledger() cost.Ledger {
+	return cost.RestoreAPI(b.Calls, b.InputTokens, b.OutputTokens, b.APIDollars)
+}
+
+// journalRecord is the tagged union written to disk.
+type journalRecord struct {
+	Meta   *RunMeta     `json:"meta,omitempty"`
+	Window *WindowStart `json:"window,omitempty"`
+	Batch  *BatchDone   `json:"batch,omitempty"`
+}
+
+// windowState groups the journaled records of one window.
+type windowState struct {
+	start   *WindowStart
+	batches map[int]*BatchDone
+}
+
+// RunState is the parsed content of a journal: what a resumed run may
+// replay. Duplicate records (a window re-run after a mid-window crash
+// journals its batches again, the replayed ones with zero usage) resolve
+// first-write-wins, so the record carrying the real billed usage is the
+// one that survives arbitrarily many crash/resume cycles.
+type RunState struct {
+	meta    *RunMeta
+	windows map[int]*windowState
+}
+
+// Meta returns the journaled run fingerprint, if any.
+func (s *RunState) Meta() (RunMeta, bool) {
+	if s == nil || s.meta == nil {
+		return RunMeta{}, false
+	}
+	return *s.meta, true
+}
+
+// Empty reports whether the journal held no records at all.
+func (s *RunState) Empty() bool {
+	return s == nil || (s.meta == nil && len(s.windows) == 0)
+}
+
+func (s *RunState) window(i int) *windowState {
+	if s == nil {
+		return nil
+	}
+	return s.windows[i]
+}
+
+// WindowStart returns window i's start record, if journaled.
+func (s *RunState) WindowStart(i int) (WindowStart, bool) {
+	w := s.window(i)
+	if w == nil || w.start == nil {
+		return WindowStart{}, false
+	}
+	return *w.start, true
+}
+
+// WindowComplete reports whether every one of the window's size
+// questions has a journaled prediction — the condition for replaying the
+// window without invoking the matcher at all.
+func (s *RunState) WindowComplete(i, size int) bool {
+	_, ok := s.WindowPreds(i, size)
+	return ok
+}
+
+// WindowPreds assembles the window's predictions in question order from
+// its journaled batches. ok is false unless the batches cover all size
+// questions exactly.
+func (s *RunState) WindowPreds(i, size int) ([]entity.Label, bool) {
+	w := s.window(i)
+	if w == nil || size <= 0 {
+		return nil, false
+	}
+	preds := make([]entity.Label, size)
+	covered := 0
+	for j := range preds {
+		preds[j] = entity.Unknown
+	}
+	for _, b := range w.batches {
+		for k, qi := range b.Questions {
+			if qi < 0 || qi >= size || k >= len(b.Pred) {
+				return nil, false
+			}
+			if preds[qi] == entity.Unknown {
+				covered++
+			}
+			preds[qi] = b.Pred[k]
+		}
+	}
+	if covered != size {
+		return nil, false
+	}
+	return preds, true
+}
+
+// WindowUsage sums the window's journaled API usage into a ledger delta
+// suitable for cost.Ledger.MergeAPI, plus the total trimmed-demo count.
+// Batches are folded in ascending batch order — the order the original
+// run billed them — so the floating-point dollar total reproduces the
+// uninterrupted run's bit for bit.
+func (s *RunState) WindowUsage(i int) (cost.Ledger, int) {
+	var l cost.Ledger
+	trimmed := 0
+	w := s.window(i)
+	if w == nil {
+		return l, 0
+	}
+	order := make([]int, 0, len(w.batches))
+	for bi := range w.batches {
+		order = append(order, bi)
+	}
+	sort.Ints(order)
+	for _, bi := range order {
+		b := w.batches[bi]
+		bl := b.Ledger()
+		l.MergeAPI(&bl)
+		trimmed += b.TrimmedDemos
+	}
+	return l, trimmed
+}
+
+// VerifyWindowKeys checks every journaled batch of window i against the
+// live candidate stream's pair keys for that window. A mismatch means
+// the journal belongs to a different candidate stream (different
+// blocker, tables, or ordering) and replaying it would attach
+// predictions to the wrong pairs.
+func (s *RunState) VerifyWindowKeys(i int, keys []string) error {
+	w := s.window(i)
+	if w == nil {
+		return nil
+	}
+	if w.start != nil && w.start.Size != len(keys) {
+		return fmt.Errorf("%w: window %d journaled %d pairs, stream has %d",
+			ErrRunMismatch, i, w.start.Size, len(keys))
+	}
+	for _, b := range w.batches {
+		for k, qi := range b.Questions {
+			if qi < 0 || qi >= len(keys) || k >= len(b.Keys) {
+				return fmt.Errorf("%w: window %d batch %d references question %d outside the window",
+					ErrRunMismatch, i, b.Batch, qi)
+			}
+			if b.Keys[k] != keys[qi] {
+				return fmt.Errorf("%w: window %d batch %d pair %d is %q in the journal but %q in the stream",
+					ErrRunMismatch, i, b.Batch, qi, b.Keys[k], keys[qi])
+			}
+		}
+	}
+	return nil
+}
+
+type batchKey struct{ window, batch int }
+
+// Journal is a durable, append-only record of one run's progress. It is
+// safe for concurrent use (batches may complete on several goroutines)
+// and idempotent: re-recording an already-journaled window or batch is a
+// no-op, which is what makes crash/resume cycles converge.
+type Journal struct {
+	mu    sync.Mutex
+	dir   string
+	log   *segLog
+	state *RunState
+	seen  map[batchKey]bool
+	wseen map[int]bool
+}
+
+// OpenJournal opens (creating if necessary) the run journal stored in
+// dir, loading any existing records for resume. The caller decides what
+// an existing non-empty journal means: a resume (replay State) or a
+// collision (refuse and pick a new run ID).
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	state := &RunState{windows: map[int]*windowState{}}
+	seen := map[batchKey]bool{}
+	wseen := map[int]bool{}
+	last, err := readSegments(dir, "journal", func(raw json.RawMessage) error {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("runstore: decode journal record: %w", err)
+		}
+		switch {
+		case rec.Meta != nil:
+			if state.meta == nil { // first wins
+				state.meta = rec.Meta
+			}
+		case rec.Window != nil:
+			w := state.windows[rec.Window.Index]
+			if w == nil {
+				w = &windowState{batches: map[int]*BatchDone{}}
+				state.windows[rec.Window.Index] = w
+			}
+			if w.start == nil { // first wins
+				w.start = rec.Window
+			}
+			wseen[rec.Window.Index] = true
+		case rec.Batch != nil:
+			k := batchKey{rec.Batch.Window, rec.Batch.Batch}
+			w := state.windows[rec.Batch.Window]
+			if w == nil {
+				w = &windowState{batches: map[int]*BatchDone{}}
+				state.windows[rec.Batch.Window] = w
+			}
+			if !seen[k] { // first wins: the real billed usage
+				w.batches[rec.Batch.Batch] = rec.Batch
+				seen[k] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{
+		dir:   dir,
+		log:   openSegLog(dir, "journal", last, 0),
+		state: state,
+		seen:  seen,
+		wseen: wseen,
+	}, nil
+}
+
+// RunID names the run: by convention the journal directory's base name.
+func (j *Journal) RunID() string { return filepath.Base(j.dir) }
+
+// State returns the journal's loaded content. The state reflects the
+// records present at open time; records appended through this Journal do
+// not appear (a resumed run replays the past, it does not re-read its
+// own writes).
+func (j *Journal) State() *RunState { return j.state }
+
+// WriteMeta journals the run fingerprint. It is a no-op if a meta record
+// was already loaded; verifying compatibility is the caller's job.
+func (j *Journal) WriteMeta(m RunMeta) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.meta != nil {
+		return nil
+	}
+	if err := j.log.append(journalRecord{Meta: &m}); err != nil {
+		return err
+	}
+	// Make the fingerprint durable before any batch spend is journaled
+	// against it.
+	return j.log.sync()
+}
+
+// WindowStart journals a window's start (its layout and annotation
+// spend). Idempotent per window index.
+func (j *Journal) WindowStart(w WindowStart) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wseen[w.Index] {
+		return nil
+	}
+	j.wseen[w.Index] = true
+	return j.log.append(journalRecord{Window: &w})
+}
+
+// BatchDone journals one completed batch. Idempotent per (window, batch):
+// replayed batches from a resumed partial window never overwrite the
+// original record carrying the real billed usage.
+func (j *Journal) BatchDone(b BatchDone) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	k := batchKey{b.Window, b.Batch}
+	if j.seen[k] {
+		return nil
+	}
+	j.seen[k] = true
+	return j.log.append(journalRecord{Batch: &b})
+}
+
+// Sync forces buffered records to durable storage immediately instead of
+// waiting for the fsync batch to fill.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.sync()
+}
+
+// Close flushes, fsyncs, and closes the journal. The Journal must not be
+// used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.close()
+}

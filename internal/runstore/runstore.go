@@ -1,0 +1,261 @@
+// Package runstore makes ER runs durable: it persists, across process
+// restarts, the two things a crashed batch-prompting campaign cannot
+// afford to lose — the predictions it already paid for and the LLM
+// responses that produced them.
+//
+// Two on-disk structures share one storage substrate (append-only JSONL
+// segment files whose records carry CRC-32C checksums and are flushed
+// with batched fsyncs):
+//
+//   - Journal is a per-run log of every answered batch: the pair keys,
+//     predictions, token usage, and cost delta, written as batches
+//     complete. pipeline.Run replays it on resume, skipping every window
+//     whose batches are fully journaled and merging their ledger deltas
+//     exactly once, so an interrupted run continues from the first
+//     unanswered window instead of re-billing from scratch.
+//
+//   - Cache is a persistent LLM response cache keyed by the full request
+//     identity (llm.CacheKey: model, system prompt, user prompt,
+//     temperature, max-tokens). It serves re-runs and overlapping
+//     experiments for free, and on resume it absorbs the partially
+//     answered window: re-issued prompts hit the cache, bill zero
+//     tokens, and are excluded from the ledger's call count.
+//
+// Durability model: records are written whole lines at a time, so a
+// crash can only tear the final line of the final segment; readers
+// verify each record's checksum and silently drop a torn tail while
+// rejecting corruption anywhere else. A journal or cache directory is
+// owned by one process at a time — concurrent writers are not
+// coordinated. Sequential sharing (finish one run, start the next with
+// the same cache directory) is the intended mode.
+package runstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// castagnoli is the CRC-32C table; the same polynomial storage systems
+// use for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// envelope is the on-disk line format: the record's raw JSON plus a
+// checksum over exactly those bytes.
+type envelope struct {
+	CRC uint32          `json:"c"`
+	Rec json.RawMessage `json:"r"`
+}
+
+// defaultSegmentBytes is the rotation threshold for segment files. It is
+// a variable so tests can force rotation with tiny segments.
+var defaultSegmentBytes = int64(4 << 20)
+
+// defaultSyncEvery batches fsyncs: one durable flush per this many
+// appended records (plus on rotation and Close). Batching amortizes the
+// fsync latency without letting a crash lose more than a handful of
+// records — and a lost record only ever costs a re-issued (cached or
+// re-billed) call, never a wrong result.
+const defaultSyncEvery = 16
+
+// segLog is an append-only log of CRC-checked JSONL records spread over
+// rotating segment files <dir>/<prefix>-NNNNNN.jsonl. It is not
+// goroutine-safe; Journal and Cache serialize access with their own
+// locks.
+type segLog struct {
+	dir       string
+	prefix    string
+	maxSeg    int64
+	syncEvery int
+
+	f        *os.File
+	w        *bufio.Writer
+	seg      int
+	segBytes int64
+	unsynced int
+}
+
+func segName(prefix string, seg int) string {
+	return fmt.Sprintf("%s-%06d.jsonl", prefix, seg)
+}
+
+// listSegments returns the existing segment file names for prefix in
+// ascending segment order, plus the highest segment index (0 if none).
+func listSegments(dir, prefix string) ([]string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var names []string
+	last := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix+"-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		var seg int
+		if _, err := fmt.Sscanf(name, prefix+"-%06d.jsonl", &seg); err != nil {
+			continue
+		}
+		names = append(names, name)
+		if seg > last {
+			last = seg
+		}
+	}
+	sort.Strings(names)
+	return names, last, nil
+}
+
+// readSegments streams every valid record to fn in write order. A record
+// that fails CRC or JSON parsing is tolerated as the final line of any
+// segment — appends only ever go to the newest segment, so each
+// segment's tail is a potential crash point (the segment that was
+// newest when that process died), and resumed processes write to fresh
+// segments after it. A bad line with more lines behind it can only be
+// real corruption and is an error. Returns the highest existing segment
+// index so writers can start a fresh segment after it.
+func readSegments(dir, prefix string, fn func(raw json.RawMessage) error) (int, error) {
+	names, last, err := listSegments(dir, prefix)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var env envelope
+			bad := json.Unmarshal(line, &env) != nil ||
+				crc32.Checksum(env.Rec, castagnoli) != env.CRC
+			if bad {
+				// Peek: a torn write can only be this segment's last line.
+				if !sc.Scan() {
+					break // torn tail: drop it, keep later segments
+				}
+				f.Close()
+				return 0, fmt.Errorf("runstore: %s line %d: corrupt record", name, lineNo)
+			}
+			if err := fn(env.Rec); err != nil {
+				f.Close()
+				return 0, err
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("runstore: reading %s: %w", name, err)
+		}
+	}
+	return last, nil
+}
+
+// openSegLog prepares a writer that appends to a fresh segment after the
+// existing ones (never to an old file, whose tail may be torn).
+func openSegLog(dir, prefix string, lastSeg int, syncEvery int) *segLog {
+	if syncEvery <= 0 {
+		syncEvery = defaultSyncEvery
+	}
+	return &segLog{
+		dir:       dir,
+		prefix:    prefix,
+		maxSeg:    defaultSegmentBytes,
+		syncEvery: syncEvery,
+		seg:       lastSeg, // first append opens segment lastSeg+1
+	}
+}
+
+// append marshals rec, wraps it in a checksummed envelope, and writes it
+// as one line, rotating and fsync-batching as configured.
+func (l *segLog) append(rec any) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: encode record: %w", err)
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.Checksum(payload, castagnoli), Rec: payload})
+	if err != nil {
+		return fmt.Errorf("runstore: encode envelope: %w", err)
+	}
+	if l.f == nil || l.segBytes >= l.maxSeg {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.w.Write(line); err != nil {
+		return err
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	l.segBytes += int64(len(line)) + 1
+	l.unsynced++
+	if l.unsynced >= l.syncEvery {
+		return l.sync()
+	}
+	return nil
+}
+
+// rotate syncs and closes the current segment and opens the next one.
+func (l *segLog) rotate() error {
+	if l.f != nil {
+		if err := l.sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+	}
+	l.seg++
+	path := filepath.Join(l.dir, segName(l.prefix, l.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segBytes = 0
+	return nil
+}
+
+// sync flushes buffered lines and fsyncs the segment.
+func (l *segLog) sync() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// close syncs and closes the current segment file.
+func (l *segLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	l.w = nil
+	return err
+}
