@@ -24,6 +24,8 @@ import (
 	"batcher/internal/llm"
 	"batcher/internal/metrics"
 	"batcher/internal/pipeline"
+	"batcher/internal/profile"
+	"batcher/internal/strsim"
 )
 
 // benchOpts are the reduced settings shared by the table benches.
@@ -390,6 +392,118 @@ func BenchmarkBlockingWindowedPipeline(b *testing.B) {
 	}
 	b.ReportMetric(float64(peak), "peak-buffered")
 	b.ReportMetric(float64(cands), "candidates")
+}
+
+// --- Hot-path kernel benches: string wrappers vs prebuilt profiles ----
+
+// BenchmarkStrsimKernels contrasts the one-shot string entry points
+// (which build operand profiles per call) against prebuilt-profile
+// kernels (the blocking/feature hot path: precompute once, compare
+// allocation-free everywhere).
+func BenchmarkStrsimKernels(b *testing.B) {
+	x := "Apple iPhone 13 Pro Max 256GB graphite smartphone"
+	y := "iphone 13 pro 256 gb graphite apple (renewed)"
+	in := profile.NewInterner()
+	bld := profile.NewBuilder(in, 3)
+	px, py := bld.Build(x), bld.Build(y)
+	b.Run("Levenshtein/Strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			strsim.Levenshtein(x, y)
+		}
+	})
+	b.Run("Levenshtein/Profiles", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			profile.Levenshtein(px, py)
+		}
+	})
+	b.Run("Jaccard/Strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			strsim.Jaccard(x, y)
+		}
+	})
+	b.Run("Jaccard/Profiles", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			profile.Jaccard(px, py)
+		}
+	})
+	b.Run("Cosine/Strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			strsim.Cosine(x, y)
+		}
+	})
+	b.Run("Cosine/Profiles", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			profile.Cosine(px, py)
+		}
+	})
+	b.Run("QGramJaccard/Strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			strsim.QGramJaccard(x, y, 3)
+		}
+	})
+	b.Run("QGramJaccard/Profiles", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			profile.QGramJaccard(px, py)
+		}
+	})
+}
+
+// featureWorkload synthesizes a candidate window with realistic record
+// reuse: nA x nB records crossed into pairs so each record appears in
+// many candidates, exactly the shape profile sharing exploits.
+func featureWorkload(nRec, nPairs int) []entity.Pair {
+	recs := func(side string) []entity.Record {
+		out := make([]entity.Record, nRec)
+		for i := range out {
+			out[i] = entity.NewRecord(fmt.Sprintf("%s%d", side, i),
+				[]string{"title", "brand", "price"},
+				[]string{
+					fmt.Sprintf("Apple iPhone %d Pro Max %dGB graphite", i%20, 64<<(i%4)),
+					"Apple Inc.",
+					fmt.Sprintf("%d.99", 700+i%300),
+				})
+		}
+		return out
+	}
+	ra, rb := recs("a"), recs("b")
+	pairs := make([]entity.Pair, nPairs)
+	for i := range pairs {
+		pairs[i] = entity.Pair{A: ra[i%nRec], B: rb[(i*7)%nRec]}
+	}
+	return pairs
+}
+
+// BenchmarkFeatureExtraction contrasts per-pair string extraction (the
+// legacy path) against profile-based batch extraction for the JAC and
+// semantic extractors — the token-kernel paths that profile; LR stays
+// on the string path by design — on a 2k-pair window over 200 records
+// per side.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	pairs := featureWorkload(200, 2000)
+	for _, ex := range []feature.Extractor{feature.NewJAC(), feature.NewSEM()} {
+		b.Run(ex.Name()+"/PerPair", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					ex.Extract(p)
+				}
+			}
+		})
+		b.Run(ex.Name()+"/Profiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				feature.ExtractAll(ex, pairs)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationClustering compares the clustering substrate choices:

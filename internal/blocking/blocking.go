@@ -17,7 +17,7 @@ import (
 	"iter"
 
 	"batcher/internal/entity"
-	"batcher/internal/strsim"
+	"batcher/internal/profile"
 )
 
 // Blocker produces candidate pairs from two tables.
@@ -43,29 +43,56 @@ type TokenBlocker struct {
 	MaxPostings int
 }
 
-// terms returns the distinct non-stop tokens of a record's blocking text.
-func (b *TokenBlocker) terms(r entity.Record) []string {
-	set := strsim.TokenSet(keyText(b.Attr, r))
-	for tok := range set {
-		if b.StopTokens[tok] {
-			delete(set, tok)
+// tokenTermer extracts a record's distinct non-stop token IDs. One per
+// goroutine; the stop set is interned once at construction so the
+// per-record filter is an integer lookup.
+type tokenTermer struct {
+	attr string
+	bld  *profile.Builder
+	stop map[uint32]bool
+}
+
+func (b *TokenBlocker) newTermer(in *profile.Interner) termer {
+	t := &tokenTermer{attr: b.Attr, bld: profile.NewBuilder(in, 0)}
+	if len(b.StopTokens) > 0 {
+		t.stop = make(map[uint32]bool, len(b.StopTokens))
+		for tok := range b.StopTokens {
+			// Stop tokens are matched against lowercase tokens, exactly
+			// as the map-based filter did; a mixed-case stop entry
+			// interns to a token no record can produce and filters
+			// nothing, preserving the legacy semantics.
+			t.stop[in.Intern(tok)] = true
 		}
 	}
-	return setTerms(set)
+	return t
+}
+
+func (t *tokenTermer) appendTerms(r entity.Record, dst []uint64) []uint64 {
+	for _, id := range t.bld.UniqueTokenIDs(keyText(t.attr, r)) {
+		if t.stop[id] {
+			continue
+		}
+		dst = append(dst, uint64(id))
+	}
+	return dst
+}
+
+// minSharedOrDefault resolves the configured minimum shared-token count.
+func (b *TokenBlocker) minSharedOrDefault() int {
+	if b.MinShared < 1 {
+		return 1
+	}
+	return b.MinShared
 }
 
 // Block implements Blocker with an inverted index over tokens.
 func (b *TokenBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
-	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+	return blockByIndex(tableA, tableB, b, b.minSharedOrDefault(), b.MaxPostings)
 }
 
 // BlockStream implements StreamBlocker.
 func (b *TokenBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
-	minShared := b.MinShared
-	if minShared < 1 {
-		minShared = 1
-	}
-	return streamByIndex(ctx, tableA, tableB, b.terms, minShared, b.MaxPostings)
+	return streamByIndex(ctx, tableA, tableB, b, b.minSharedOrDefault(), b.MaxPostings)
 }
 
 // QGramBlocker pairs records sharing at least MinShared q-grams on the key
@@ -81,29 +108,48 @@ type QGramBlocker struct {
 	MaxPostings int
 }
 
-// Block implements Blocker.
-func (b *QGramBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
-	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+// settings resolves the configured minimum shared grams and posting cap
+// with their defaults (the gram size default lives in newTermer).
+func (b *QGramBlocker) settings() (minShared, maxPost int) {
+	minShared = b.MinShared
+	if minShared < 1 {
+		minShared = 2
+	}
+	maxPost = b.MaxPostings
+	if maxPost <= 0 {
+		maxPost = 256
+	}
+	return minShared, maxPost
 }
 
-// BlockStream implements StreamBlocker.
-func (b *QGramBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
+// Block implements Blocker.
+func (b *QGramBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
+	minShared, maxPost := b.settings()
+	return blockByIndex(tableA, tableB, b, minShared, maxPost)
+}
+
+// qgramTermer extracts a record's distinct q-gram signature hashes.
+type qgramTermer struct {
+	attr string
+	bld  *profile.Builder
+}
+
+func (b *QGramBlocker) newTermer(in *profile.Interner) termer {
 	q := b.Q
 	if q <= 0 {
 		q = 3
 	}
-	minShared := b.MinShared
-	if minShared < 1 {
-		minShared = 2
-	}
-	maxPost := b.MaxPostings
-	if maxPost <= 0 {
-		maxPost = 256
-	}
-	terms := func(r entity.Record) []string {
-		return setTerms(strsim.QGrams(keyText(b.Attr, r), q))
-	}
-	return streamByIndex(ctx, tableA, tableB, terms, minShared, maxPost)
+	return &qgramTermer{attr: b.Attr, bld: profile.NewBuilder(in, q)}
+}
+
+func (t *qgramTermer) appendTerms(r entity.Record, dst []uint64) []uint64 {
+	return append(dst, t.bld.GramHashes(keyText(t.attr, r))...)
+}
+
+// BlockStream implements StreamBlocker.
+func (b *QGramBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
+	minShared, maxPost := b.settings()
+	return streamByIndex(ctx, tableA, tableB, b, minShared, maxPost)
 }
 
 // Stats summarizes a blocker's output against gold matches for quality

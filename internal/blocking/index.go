@@ -1,11 +1,14 @@
 package blocking
 
 import (
-	"hash/maphash"
+	"cmp"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 
 	"batcher/internal/entity"
+	"batcher/internal/profile"
 )
 
 // keyText returns the blocking text of a record: the named attribute, or
@@ -19,52 +22,87 @@ func keyText(attr string, r entity.Record) string {
 	return v
 }
 
-// termFunc extracts the distinct index terms of one record (tokens,
-// q-grams, or LSH band keys). Implementations must return each term at
-// most once per record; term order is irrelevant.
-type termFunc func(r entity.Record) []string
+// termSource hands out per-goroutine term extractors over one shared
+// interner. The parallel index build gives every worker its own termer
+// (each owns builder scratch); term values from different termers are
+// comparable because the interner is shared.
+type termSource interface {
+	newTermer(in *profile.Interner) termer
+}
 
-// setTerms collects a term set into a slice, the form termFuncs return.
-func setTerms(set map[string]bool) []string {
-	out := make([]string, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+// termer extracts the distinct index terms of one record — interned
+// token IDs, q-gram signature hashes, or LSH band keys — as uint64s.
+// Implementations must emit each term at most once per record; term
+// order is irrelevant. A termer is single-goroutine.
+type termer interface {
+	// appendTerms appends r's terms to dst and returns it. The appended
+	// values are stable; dst may be retained by the caller.
+	appendTerms(r entity.Record, dst []uint64) []uint64
+}
+
+// chunks accumulates values in fixed-size blocks, so a collection of
+// unknown final size allocates exactly its content (plus one partial
+// block) instead of the ~5x cumulative waste of repeated slice growth.
+type chunks[T any] struct {
+	full [][]T
+	cur  []T
+	n    int
+}
+
+const chunkLen = 1 << 14
+
+func (c *chunks[T]) append(v T) {
+	if len(c.cur) == cap(c.cur) {
+		if c.cur != nil {
+			c.full = append(c.full, c.cur)
+		}
+		c.cur = make([]T, 0, chunkLen)
 	}
-	return out
+	c.cur = append(c.cur, v)
+	c.n++
 }
 
-// indexSeed salts the shard hash. It is fixed per process (maphash seeds
-// are re-randomized on every start); shard assignment only balances load
-// and never influences candidate output, so cross-run stability is not
-// needed.
-var indexSeed = maphash.MakeSeed()
+// termPost is one posting: a term and the row that contains it.
+type termPost struct {
+	term uint64
+	row  int32
+}
 
-// invertedIndex maps terms to ascending record indices, sharded by term
-// hash so the build can merge shards in parallel without contention.
+// invertedIndex is a sorted posting array: every (term, row) pair of
+// the indexed table ordered by term then row. Compared to a hash map of
+// slices it costs 16 bytes per posting flat, builds with one sort, and
+// looks up with two binary searches — the right trade for indexes that
+// are built once per blocking call and probed row by row.
 type invertedIndex struct {
-	shards []map[string][]int
+	posts       []termPost
+	maxPostings int
 }
 
-func (ix *invertedIndex) shardOf(term string) int {
-	return int(maphash.String(indexSeed, term) % uint64(len(ix.shards)))
+// lookup returns the posting run of a term in ascending row order (nil
+// if absent, or longer than the posting cap — too frequent to be
+// selective).
+func (ix *invertedIndex) lookup(term uint64) []termPost {
+	lo := sort.Search(len(ix.posts), func(i int) bool { return ix.posts[i].term >= term })
+	if lo == len(ix.posts) || ix.posts[lo].term != term {
+		return nil
+	}
+	hi := lo + sort.Search(len(ix.posts)-lo, func(i int) bool { return ix.posts[lo+i].term > term })
+	if ix.maxPostings > 0 && hi-lo > ix.maxPostings {
+		return nil
+	}
+	return ix.posts[lo:hi]
 }
 
-// lookup returns the posting list of a term (nil if absent or capped).
-func (ix *invertedIndex) lookup(term string) []int {
-	return ix.shards[ix.shardOf(term)][term]
-}
-
-// buildIndex constructs the inverted index over table. The build is
-// parallel in two phases: contiguous row chunks are tokenized
-// concurrently into chunk-local shard maps, then each shard is merged
-// concurrently by concatenating the chunk maps in chunk order — posting
-// lists therefore stay in ascending row order, exactly as a sequential
-// append would produce. maxPostings > 0 drops terms whose merged list is
-// longer (too frequent to be selective).
-func buildIndex(table []entity.Record, terms termFunc, maxPostings int) *invertedIndex {
+// buildIndex constructs the inverted index over table: contiguous row
+// chunks are profiled concurrently — each worker owning its own
+// termer/builder scratch over the shared interner — into chunk-local
+// posting accumulators, which are then flattened in chunk order and
+// sorted by (term, row). Within a term, rows come out ascending, exactly
+// as a sequential index build would produce.
+func buildIndex(table []entity.Record, src termSource, in *profile.Interner, maxPostings int) *invertedIndex {
 	// Scale workers to the table, not the machine: each worker should own
 	// a meaningful chunk of rows, otherwise small tables on many-core
-	// hosts pay workers^2 map allocations for sub-millisecond work.
+	// hosts pay per-worker setup for sub-millisecond work.
 	const minChunk = 1024
 	workers := (len(table) + minChunk - 1) / minChunk
 	if p := runtime.GOMAXPROCS(0); workers > p {
@@ -73,11 +111,8 @@ func buildIndex(table []entity.Record, terms termFunc, maxPostings int) *inverte
 	if workers < 1 {
 		workers = 1
 	}
-	ix := &invertedIndex{shards: make([]map[string][]int, workers)}
 
-	// Phase 1: tokenize row chunks in parallel. local[c][s] holds chunk
-	// c's postings for shard s.
-	local := make([][]map[string][]int, workers)
+	local := make([]chunks[termPost], workers)
 	chunk := (len(table) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for c := 0; c < workers; c++ {
@@ -86,45 +121,37 @@ func buildIndex(table []entity.Record, terms termFunc, maxPostings int) *inverte
 		if hi > len(table) {
 			hi = len(table)
 		}
-		local[c] = make([]map[string][]int, workers)
-		for s := range local[c] {
-			local[c][s] = make(map[string][]int)
-		}
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			tr := src.newTermer(in)
+			var terms []uint64
 			for j := lo; j < hi; j++ {
-				for _, t := range terms(table[j]) {
-					s := ix.shardOf(t)
-					local[c][s][t] = append(local[c][s][t], j)
+				terms = tr.appendTerms(table[j], terms[:0])
+				for _, t := range terms {
+					local[c].append(termPost{term: t, row: int32(j)})
 				}
 			}
 		}(c, lo, hi)
 	}
 	wg.Wait()
 
-	// Phase 2: merge each shard in parallel, visiting chunks in order so
-	// every posting list comes out ascending.
-	for s := 0; s < workers; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			merged := make(map[string][]int)
-			for c := 0; c < workers; c++ {
-				for t, list := range local[c][s] {
-					merged[t] = append(merged[t], list...)
-				}
-			}
-			if maxPostings > 0 {
-				for t, list := range merged {
-					if len(list) > maxPostings {
-						delete(merged, t)
-					}
-				}
-			}
-			ix.shards[s] = merged
-		}(s)
+	total := 0
+	for c := range local {
+		total += local[c].n
 	}
-	wg.Wait()
-	return ix
+	posts := make([]termPost, 0, total)
+	for c := range local {
+		for _, blk := range local[c].full {
+			posts = append(posts, blk...)
+		}
+		posts = append(posts, local[c].cur...)
+	}
+	slices.SortFunc(posts, func(a, b termPost) int {
+		if c := cmp.Compare(a.term, b.term); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.row, b.row)
+	})
+	return &invertedIndex{posts: posts, maxPostings: maxPostings}
 }

@@ -2,12 +2,11 @@ package blocking
 
 import (
 	"context"
-	"fmt"
-	"hash/fnv"
 	"iter"
 	"sort"
 
 	"batcher/internal/entity"
+	"batcher/internal/profile"
 	"batcher/internal/strsim"
 )
 
@@ -41,65 +40,79 @@ func (b *MinHashBlocker) rows() int {
 	return b.Rows
 }
 
-// signature computes the MinHash signature of a token set. Each of the
-// bands*rows permutations is simulated by salting FNV-64.
-func (b *MinHashBlocker) signature(tokens map[string]bool) []uint64 {
-	n := b.bands() * b.rows()
-	sig := make([]uint64, n)
-	for i := range sig {
-		sig[i] = ^uint64(0)
+// minhashTermer computes per-record MinHash band keys. The FNV-64a base
+// hash of every token is computed once per distinct token and cached in
+// the shared interner, so a token that appears in thousands of records
+// is hashed exactly once per blocking call.
+type minhashTermer struct {
+	attr        string
+	bld         *profile.Builder
+	sig         []uint64
+	bands, rows int
+	seed        uint64
+}
+
+func (b *MinHashBlocker) newTermer(in *profile.Interner) termer {
+	bands, rows := b.bands(), b.rows()
+	return &minhashTermer{
+		attr:  b.Attr,
+		bld:   profile.NewBuilder(in, 0),
+		sig:   make([]uint64, bands*rows),
+		bands: bands,
+		rows:  rows,
+		seed:  b.Seed,
 	}
-	for tok := range tokens {
-		h := fnv.New64a()
-		h.Write([]byte(tok))
-		base := h.Sum64()
+}
+
+// appendTerms emits one term per LSH band: FNV-64a over the band index
+// and the band's signature rows, so distinct bands occupy disjoint key
+// spaces in the shared inverted index.
+func (t *minhashTermer) appendTerms(r entity.Record, dst []uint64) []uint64 {
+	n := t.bands * t.rows
+	for i := range t.sig {
+		t.sig[i] = ^uint64(0)
+	}
+	in := t.bld.Interner()
+	for _, id := range t.bld.UniqueTokenIDs(keyText(t.attr, r)) {
+		base := in.TokenHash(id)
 		for i := 0; i < n; i++ {
 			// Salted permutation: a cheap xorshift-style mix of the base
 			// hash with the permutation index and seed.
-			v := base ^ (uint64(i)*0x9e3779b97f4a7c15 + b.Seed)
+			v := base ^ (uint64(i)*0x9e3779b97f4a7c15 + t.seed)
 			v ^= v >> 33
 			v *= 0xff51afd7ed558ccd
 			v ^= v >> 33
-			if v < sig[i] {
-				sig[i] = v
+			if v < t.sig[i] {
+				t.sig[i] = v
 			}
 		}
 	}
-	return sig
-}
-
-// terms returns one index term per LSH band: the band index prefixed to a
-// hash of that band's signature rows, so distinct bands never collide in
-// the shared inverted index.
-func (b *MinHashBlocker) terms(r entity.Record) []string {
-	rows, bands := b.rows(), b.bands()
-	sig := b.signature(strsim.TokenSet(keyText(b.Attr, r)))
-	out := make([]string, 0, bands)
-	for band := 0; band < bands; band++ {
-		h := fnv.New64a()
-		for ri := 0; ri < rows; ri++ {
-			v := sig[band*rows+ri]
-			var buf [8]byte
+	for band := 0; band < t.bands; band++ {
+		h := profile.FNV64Offset
+		for k := 0; k < 4; k++ {
+			h = profile.FNV64Byte(h, byte(band>>(8*k)))
+		}
+		for ri := 0; ri < t.rows; ri++ {
+			v := t.sig[band*t.rows+ri]
 			for k := 0; k < 8; k++ {
-				buf[k] = byte(v >> (8 * k))
+				h = profile.FNV64Byte(h, byte(v>>(8*k)))
 			}
-			h.Write(buf[:])
 		}
-		out = append(out, fmt.Sprintf("%d:%x", band, h.Sum64()))
+		dst = append(dst, h)
 	}
-	return out
+	return dst
 }
 
 // Block implements Blocker.
 func (b *MinHashBlocker) Block(tableA, tableB []entity.Record) []entity.Pair {
-	return collectAll(b.BlockStream(context.Background(), tableA, tableB))
+	return blockByIndex(tableA, tableB, b, 1, 0)
 }
 
 // BlockStream implements StreamBlocker: any band collision (minShared 1)
 // makes a candidate, with no posting cap — an over-full bucket is the
 // S-curve speaking, not an indexing artifact.
 func (b *MinHashBlocker) BlockStream(ctx context.Context, tableA, tableB []entity.Record) iter.Seq2[entity.Pair, error] {
-	return streamByIndex(ctx, tableA, tableB, b.terms, 1, 0)
+	return streamByIndex(ctx, tableA, tableB, b, 1, 0)
 }
 
 // SortedNeighborhood implements the classic sorted-neighborhood blocker:
@@ -152,17 +165,26 @@ func (s *SortedNeighborhood) block(tableA, tableB []entity.Record) []entity.Pair
 		idx   int
 		fromA bool
 	}
+	// The sort key is the record's tokens, lexicographically sorted and
+	// concatenated, truncated to the prefix. Unlike the index blockers,
+	// no interner helps here — each record's key is consumed once — so
+	// the key builder just reuses a byte scratch for the join instead of
+	// allocating one intermediate string per token.
+	var buf []byte
 	key := func(r entity.Record) string {
 		toks := strsim.Tokenize(keyText(s.Attr, r))
 		sort.Strings(toks)
-		k := ""
+		buf = buf[:0]
 		for _, t := range toks {
-			k += t
+			buf = append(buf, t...)
+			if len(buf) >= prefix {
+				break
+			}
 		}
-		if len(k) > prefix {
-			k = k[:prefix]
+		if len(buf) > prefix {
+			buf = buf[:prefix]
 		}
-		return k
+		return string(buf)
 	}
 	entries := make([]entry, 0, len(tableA)+len(tableB))
 	for i, r := range tableA {

@@ -3,9 +3,10 @@ package blocking
 import (
 	"context"
 	"iter"
-	"sort"
+	"slices"
 
 	"batcher/internal/entity"
+	"batcher/internal/profile"
 )
 
 // StreamBlocker is a Blocker that can also yield its candidate pairs
@@ -77,47 +78,113 @@ func collectAll(seq iter.Seq2[entity.Pair, error]) []entity.Pair {
 	return pairs
 }
 
-// streamByIndex is the shared candidate generator behind the
-// inverted-index blockers (token, q-gram, MinHash): it indexes tableB by
-// term once, then walks tableA row by row, counting per-row term
-// collisions in a single reused scratch map and yielding the rows of
-// tableB that share at least minShared terms, in ascending row order.
-// Cancellation is checked once per tableA row.
-func streamByIndex(ctx context.Context, tableA, tableB []entity.Record, terms termFunc, minShared, maxPostings int) iter.Seq2[entity.Pair, error] {
+// indexMatcher is the per-call state of the inverted-index blockers:
+// the index over tableB, a termer over the shared per-call interner for
+// profiling tableA rows, and dense reused scratch. counts[j] is the
+// number of shared terms with tableB row j in the current round,
+// touched lists the rows with nonzero counts so resetting is
+// O(touched), and js collects the qualifying rows — so steady-state
+// candidate generation allocates nothing.
+type indexMatcher struct {
+	ix        *invertedIndex
+	tr        termer
+	minShared int32
+	counts    []int32
+	touched   []int32
+	js        []int32
+	terms     []uint64
+}
+
+// newIndexMatcher interns tableB's terms into a fresh per-call inverted
+// index. Everything interned (vocabulary, index, scratch) lives and
+// dies with the blocking call.
+func newIndexMatcher(tableB []entity.Record, src termSource, minShared, maxPostings int) *indexMatcher {
+	in := profile.NewInterner()
+	return &indexMatcher{
+		ix:        buildIndex(tableB, src, in, maxPostings),
+		tr:        src.newTermer(in),
+		minShared: int32(minShared),
+		counts:    make([]int32, len(tableB)),
+		touched:   make([]int32, 0, 256),
+		js:        make([]int32, 0, 64),
+	}
+}
+
+// rowCandidates returns the tableB rows sharing at least minShared terms
+// with ra, in ascending row order. The slice is matcher scratch, valid
+// until the next call.
+func (m *indexMatcher) rowCandidates(ra entity.Record) []int32 {
+	m.terms = m.tr.appendTerms(ra, m.terms[:0])
+	for _, t := range m.terms {
+		for _, p := range m.ix.lookup(t) {
+			if m.counts[p.row] == 0 {
+				m.touched = append(m.touched, p.row)
+			}
+			m.counts[p.row]++
+		}
+	}
+	m.js = m.js[:0]
+	for _, j := range m.touched {
+		if m.counts[j] >= m.minShared {
+			m.js = append(m.js, j)
+		}
+		m.counts[j] = 0
+	}
+	m.touched = m.touched[:0]
+	slices.Sort(m.js)
+	return m.js
+}
+
+// streamByIndex is the shared streaming candidate generator behind the
+// inverted-index blockers (token, q-gram, MinHash): it indexes tableB
+// once, then walks tableA row by row yielding that row's candidates in
+// ascending row order. Cancellation is checked once per tableA row.
+func streamByIndex(ctx context.Context, tableA, tableB []entity.Record, src termSource, minShared, maxPostings int) iter.Seq2[entity.Pair, error] {
 	return func(yield func(entity.Pair, error) bool) {
 		if err := ctx.Err(); err != nil {
 			yield(entity.Pair{}, err)
 			return
 		}
-		ix := buildIndex(tableB, terms, maxPostings)
-		// The scratch map and candidate slice are reused across rows:
-		// clearing a map keeps its buckets, so steady-state generation
-		// allocates only the yielded pairs.
-		counts := make(map[int]int)
-		var js []int
+		m := newIndexMatcher(tableB, src, minShared, maxPostings)
 		for _, ra := range tableA {
 			if err := ctx.Err(); err != nil {
 				yield(entity.Pair{}, err)
 				return
 			}
-			clear(counts)
-			for _, t := range terms(ra) {
-				for _, j := range ix.lookup(t) {
-					counts[j]++
-				}
-			}
-			js = js[:0]
-			for j, c := range counts {
-				if c >= minShared {
-					js = append(js, j)
-				}
-			}
-			sort.Ints(js)
-			for _, j := range js {
+			for _, j := range m.rowCandidates(ra) {
 				if !yield(entity.Pair{A: ra, B: tableB[j], Truth: entity.Unknown}, nil) {
 					return
 				}
 			}
 		}
 	}
+}
+
+// blockByIndex is the materializing Block path of the index blockers.
+// It produces exactly streamByIndex's pairs in the same order, but
+// collects row-index pairs packed into uint64s first and sizes the
+// final pair slice exactly once — the dominant allocation of a large
+// Block call is the result itself, not append-growth waste.
+func blockByIndex(tableA, tableB []entity.Record, src termSource, minShared, maxPostings int) []entity.Pair {
+	m := newIndexMatcher(tableB, src, minShared, maxPostings)
+	var packed chunks[uint64]
+	for i, ra := range tableA {
+		for _, j := range m.rowCandidates(ra) {
+			packed.append(uint64(i)<<32 | uint64(uint32(j)))
+		}
+	}
+	if packed.n == 0 {
+		return nil
+	}
+	pairs := make([]entity.Pair, 0, packed.n)
+	emit := func(blk []uint64) {
+		for _, pk := range blk {
+			pairs = append(pairs, entity.Pair{A: tableA[pk>>32], B: tableB[uint32(pk)], Truth: entity.Unknown})
+		}
+	}
+	for _, blk := range packed.full {
+		emit(blk)
+	}
+	emit(packed.cur)
+	return pairs
 }

@@ -145,8 +145,22 @@ type merge struct {
 
 type mergeHeap []*merge
 
-func (h mergeHeap) Len() int            { return len(h) }
-func (h mergeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h mergeHeap) Len() int { return len(h) }
+
+// Less is a strict total order — distance, then cluster IDs — so
+// equal-distance merges pop in a fixed order however the candidate
+// pushes were ordered (the candidate table iterates map-randomly).
+// Without the tie-break, chains of equidistant points merged in a
+// different order on different process runs.
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
 func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x interface{}) { *h = append(*h, toMerge(x)) }
 func (h *mergeHeap) Pop() interface{} {

@@ -50,6 +50,11 @@ func (r Result) Clusters() [][]int {
 // et al. (the paper's choice, reference [27]). eps is the neighbourhood
 // radius under dist and minPts the density threshold (including the point
 // itself). The scan order is index order, so results are deterministic.
+//
+// The pairwise distance stage dominates: O(n^2) dist calls over feature
+// vectors. Neighbour lists are gathered into one reused scratch buffer —
+// the only steady allocations are the expansion queue's growth — so the
+// stage adds nothing per comparison on top of the dist function itself.
 func DBSCAN(points []feature.Vector, dist feature.Distance, eps float64, minPts int) Result {
 	n := len(points)
 	assign := make([]int, n)
@@ -57,15 +62,20 @@ func DBSCAN(points []feature.Vector, dist feature.Distance, eps float64, minPts 
 		assign[i] = Noise
 	}
 	visited := make([]bool, n)
+	scratch := make([]int, 0, 64)
+	// neighbors gathers into the shared scratch; the caller must copy
+	// (or fully consume) the result before the next call.
 	neighbors := func(i int) []int {
-		var ns []int
+		ns := scratch[:0]
 		for j := 0; j < n; j++ {
 			if dist(points[i], points[j]) <= eps {
 				ns = append(ns, j)
 			}
 		}
+		scratch = ns
 		return ns
 	}
+	var queue []int
 	k := 0
 	for i := 0; i < n; i++ {
 		if visited[i] {
@@ -76,11 +86,12 @@ func DBSCAN(points []feature.Vector, dist feature.Distance, eps float64, minPts 
 		if len(ns) < minPts {
 			continue // remains noise unless adopted as a border point
 		}
-		// Start a new cluster and expand it breadth-first.
+		// Start a new cluster and expand it breadth-first. append copies
+		// the scratch-backed neighbour list, so reuse is safe.
 		c := k
 		k++
 		assign[i] = c
-		queue := append([]int(nil), ns...)
+		queue = append(queue[:0], ns...)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
 			if !visited[j] {
@@ -115,9 +126,12 @@ func EpsPercentile(points []feature.Vector, dist feature.Distance, p float64, sa
 		rnd.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		idx = idx[:sampleCap]
 	}
-	var ds []float64
-	for i := 0; i < len(idx); i++ {
-		for j := i + 1; j < len(idx); j++ {
+	// The sample size is known, so the distance buffer is sized exactly
+	// once instead of growing through ~log(n^2) reallocations.
+	m := len(idx)
+	ds := make([]float64, 0, m*(m-1)/2)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
 			ds = append(ds, dist(points[idx[i]], points[idx[j]]))
 		}
 	}

@@ -124,8 +124,17 @@ func (f *Framework) ResolveStream(ctx context.Context, questions, pool []entity.
 		return nil, err
 	}
 	cfg := f.cfg
-	qVecs := feature.ExtractAll(cfg.Extractor, questions)
-	dVecs := feature.ExtractAll(cfg.Extractor, pool)
+	// Feature extraction runs on entity profiles computed once per
+	// record and shared between the question and pool sides. A pipeline
+	// producer that pre-built this window's profiles hands them down via
+	// feature.WithProfiles on ctx; otherwise a resolution-local cache is
+	// built here and dropped with the call.
+	ps := feature.ProfilesFrom(ctx)
+	if ps == nil {
+		ps = feature.NewProfiles(cfg.Extractor)
+	}
+	qVecs := feature.ExtractAllWith(ps, cfg.Extractor, questions)
+	dVecs := feature.ExtractAllWith(ps, cfg.Extractor, pool)
 
 	batches := makeBatches(cfg, qVecs)
 	if err := checkPartition(batches, len(questions)); err != nil {

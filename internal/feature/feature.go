@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"batcher/internal/entity"
+	"batcher/internal/profile"
 	"batcher/internal/strsim"
 )
 
@@ -51,20 +52,57 @@ type Structure struct {
 	Sim StringSim
 	// Label names the variant.
 	Label string
+	// profSim is the profile-kernel form of Sim, set by the NewJAC
+	// constructor. When nil (a custom Sim, or an edit-distance Sim like
+	// NewLR's), the extractor stays on the string path — ProfileOpts
+	// reports no needs. Only token-set kernels benefit from precomputed
+	// profiles; Levenshtein is parity per comparison (the string path
+	// already runs pooled-scratch DP), so for it the per-record entity
+	// builds and cache bookkeeping would be pure overhead.
+	profSim func(a, b *profile.Profile) float64
+	// profTokens marks profSim as a token-set kernel, so ProfileOpts
+	// requests token data; edit-distance kernels would get cheaper
+	// rune-only attribute profiles (see EntityOpts.AttrTokens).
+	profTokens bool
 }
 
 // NewLR returns the Levenshtein-ratio structure-aware extractor (the
-// paper's best-performing choice, BATCHER-LR).
-func NewLR() *Structure { return &Structure{Sim: strsim.LevenshteinRatio, Label: "LR"} }
+// paper's best-performing choice, BATCHER-LR). It extracts on the
+// string path: edit distance gains nothing from token profiles.
+func NewLR() *Structure {
+	return &Structure{Sim: strsim.LevenshteinRatio, Label: "LR"}
+}
 
 // NewJAC returns the Jaccard structure-aware extractor (BATCHER-JAC).
-func NewJAC() *Structure { return &Structure{Sim: strsim.Jaccard, Label: "JAC"} }
+func NewJAC() *Structure {
+	return &Structure{Sim: strsim.Jaccard, Label: "JAC", profSim: profile.Jaccard, profTokens: true}
+}
+
+// unionAttrs returns the pair's union schema — A's attributes followed
+// by any present only in B. When A's schema already covers B (the
+// common case: both tables share one schema), A's slice is returned
+// as-is, read-only, skipping Pair.Attrs' per-call copy.
+func unionAttrs(p entity.Pair) []string {
+	for _, b := range p.B.Attrs {
+		found := false
+		for _, a := range p.A.Attrs {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return p.Attrs()
+		}
+	}
+	return p.A.Attrs
+}
 
 // Extract implements Extractor: v = (sim(a.attr1, b.attr1), ..., sim_m).
 // Attributes present on only one side score 0 (maximally dissimilar),
 // since a missing value carries no matching evidence.
 func (s *Structure) Extract(p entity.Pair) Vector {
-	attrs := p.Attrs()
+	attrs := unionAttrs(p)
 	v := make(Vector, len(attrs))
 	for i, attr := range attrs {
 		va, oka := p.A.Get(attr)
@@ -83,6 +121,35 @@ func (s *Structure) Dim(m int) int { return m }
 
 // Name implements Extractor.
 func (s *Structure) Name() string { return s.Label }
+
+// ProfileOpts implements ProfiledExtractor: per-attribute profiles when
+// the similarity has a profile-kernel form, nothing otherwise.
+func (s *Structure) ProfileOpts() profile.EntityOpts {
+	if s.profSim == nil {
+		return profile.EntityOpts{}
+	}
+	return profile.EntityOpts{Attrs: true, AttrTokens: s.profTokens}
+}
+
+// ExtractProfiled implements ProfiledExtractor: Extract over the
+// records' precomputed attribute profiles.
+func (s *Structure) ExtractProfiled(p entity.Pair, pa, pb *profile.Entity) Vector {
+	if s.profSim == nil || !pa.Opts().Attrs || !pb.Opts().Attrs {
+		return s.Extract(p)
+	}
+	attrs := unionAttrs(p)
+	v := make(Vector, len(attrs))
+	for i, attr := range attrs {
+		qa, oka := pa.Attr(attr)
+		qb, okb := pb.Attr(attr)
+		if !oka || !okb {
+			v[i] = 0
+			continue
+		}
+		v[i] = s.profSim(qa, qb)
+	}
+	return v
+}
 
 // Semantic is the semantics-based extractor: a dense embedding of the
 // serialized pair text. It stands in for SBERT/RoBERTa sentence encoders.
@@ -156,6 +223,93 @@ func (s *Semantic) Dim(int) int {
 // Name implements Extractor.
 func (s *Semantic) Name() string { return "SEM" }
 
+// ProfileOpts implements ProfiledExtractor: the serialized token
+// stream, with the pair separator pre-resolved per entity.
+func (s *Semantic) ProfileOpts() profile.EntityOpts {
+	return profile.EntityOpts{Serialized: true, SepToken: "sep"}
+}
+
+// ExtractProfiled implements ProfiledExtractor. The pair text's token
+// sequence is the concatenation of A's serialized tokens, the "sep"
+// token, and B's serialized tokens, so the embedding accumulates the
+// same features in the same order as Extract — bit-identical output —
+// without serializing, lowering, or hashing feature strings per pair:
+// every per-token hash comes from the interner's cache. The loops are
+// spelled as package helpers rather than closures so the only
+// allocation per pair is the output vector itself.
+func (s *Semantic) ExtractProfiled(p entity.Pair, pa, pb *profile.Entity) Vector {
+	if !pa.Opts().Serialized || !pb.Opts().Serialized {
+		return s.Extract(p)
+	}
+	dim := s.Buckets
+	if dim <= 0 {
+		dim = DefaultSemanticDim
+	}
+	v := make(Vector, dim)
+	in := pa.Interner()
+	// The separator ID was resolved at entity-build time; the fallback
+	// intern only runs for hand-built entities without a SepToken, so
+	// the parallel per-pair path never touches the interner's lock.
+	sep, ok := pa.SepID()
+	if !ok {
+		sep = in.Intern("sep")
+	}
+	seqA, seqB := pa.SerialTokens(), pb.SerialTokens()
+	semEmitSeq(v, in, seqA)
+	semEmitToken(v, in, sep)
+	semEmitSeq(v, in, seqB)
+	// Bigrams of adjacent tokens over the combined sequence, in the
+	// same second pass the string path makes.
+	prev, has := semBigramSeq(v, in, seqA, 0, false)
+	prev, has = semBigramStep(v, in, prev, has, sep)
+	semBigramSeq(v, in, seqB, prev, has)
+	normalize(v)
+	return v
+}
+
+// semAdd folds one hashed feature into the bucket vector, with the same
+// index and sign derivation as the string path's addFeature.
+func semAdd(v Vector, x uint64, weight float64) {
+	idx := int(x % uint64(len(v)))
+	sign := 1.0
+	if (x>>32)&1 == 1 {
+		sign = -1
+	}
+	v[idx] += sign * weight
+}
+
+// semEmitToken adds one token's word and trigram features.
+func semEmitToken(v Vector, in *profile.Interner, id uint32) {
+	word, grams := in.TokenFeatureHashes(id)
+	semAdd(v, word, 1)
+	for _, g := range grams {
+		semAdd(v, g, 0.5)
+	}
+}
+
+// semEmitSeq adds every token's features in sequence order.
+func semEmitSeq(v Vector, in *profile.Interner, seq []uint32) {
+	for _, id := range seq {
+		semEmitToken(v, in, id)
+	}
+}
+
+// semBigramStep advances the bigram scan by one token.
+func semBigramStep(v Vector, in *profile.Interner, prev uint32, has bool, id uint32) (uint32, bool) {
+	if has {
+		semAdd(v, in.BigramFeatureHash(prev, id), 0.7)
+	}
+	return id, true
+}
+
+// semBigramSeq scans a token sequence, continuing from (prev, has).
+func semBigramSeq(v Vector, in *profile.Interner, seq []uint32, prev uint32, has bool) (uint32, bool) {
+	for _, id := range seq {
+		prev, has = semBigramStep(v, in, prev, has, id)
+	}
+	return prev, has
+}
+
 func normalize(v Vector) {
 	var n float64
 	for _, x := range v {
@@ -193,8 +347,13 @@ func NewHybrid() *Hybrid {
 
 // Extract implements Extractor.
 func (h *Hybrid) Extract(p entity.Pair) Vector {
-	st := h.structOrDefault().Extract(p)
-	sem := h.semOrDefault().Extract(p)
+	return h.combine(h.structOrDefault().Extract(p), h.semOrDefault().Extract(p))
+}
+
+// combine concatenates the structural block with the blend-scaled
+// semantic block. Both extraction paths funnel here so their outputs
+// cannot diverge.
+func (h *Hybrid) combine(st, sem Vector) Vector {
 	blend := h.Blend
 	if blend <= 0 {
 		blend = 0.25
@@ -214,6 +373,26 @@ func (h *Hybrid) Dim(m int) int {
 
 // Name implements Extractor.
 func (h *Hybrid) Name() string { return "HYB" }
+
+// ProfileOpts implements ProfiledExtractor: the union of the two
+// components' needs (attribute profiles only when the structural
+// component has a profile-kernel similarity).
+func (h *Hybrid) ProfileOpts() profile.EntityOpts {
+	st := h.structOrDefault().ProfileOpts()
+	return profile.EntityOpts{
+		Attrs:      st.Attrs,
+		AttrTokens: st.AttrTokens,
+		Serialized: true,
+		SepToken:   h.semOrDefault().ProfileOpts().SepToken,
+	}
+}
+
+// ExtractProfiled implements ProfiledExtractor, delegating each block
+// to the component's fast path (either component transparently falls
+// back to its string path when the profiles lack its data).
+func (h *Hybrid) ExtractProfiled(p entity.Pair, pa, pb *profile.Entity) Vector {
+	return h.combine(h.structOrDefault().ExtractProfiled(p, pa, pb), h.semOrDefault().ExtractProfiled(p, pa, pb))
+}
 
 func (h *Hybrid) structOrDefault() *Structure {
 	if h.Struct == nil {
@@ -277,15 +456,6 @@ func CosineDistance(a, b Vector) float64 {
 
 // Distance is a distance function over feature vectors.
 type Distance func(a, b Vector) float64
-
-// ExtractAll maps the extractor over a pair slice.
-func ExtractAll(ex Extractor, pairs []entity.Pair) []Vector {
-	out := make([]Vector, len(pairs))
-	for i, p := range pairs {
-		out[i] = ex.Extract(p)
-	}
-	return out
-}
 
 // MeanSimilarity returns the mean of the components of a structure-aware
 // vector: a cheap scalar summary of how alike the two records of a pair

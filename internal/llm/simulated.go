@@ -127,14 +127,12 @@ func (s *Simulated) promptSeed(req Request) int64 {
 // answer produces one label per question under the profile's error model.
 func (s *Simulated) answer(p Profile, parsed *prompt.Parsed, temperature float64, rnd *rand.Rand) []entity.Label {
 	qs := parsed.Questions
-	qv := make([]feature.Vector, len(qs))
-	for i, q := range qs {
-		qv[i] = s.extractor.Extract(q)
-	}
-	dv := make([]feature.Vector, len(parsed.Demos))
+	qv := feature.ExtractAll(s.extractor, qs)
+	demoPairs := make([]entity.Pair, len(parsed.Demos))
 	for i, d := range parsed.Demos {
-		dv[i] = s.extractor.Extract(d.Pair)
+		demoPairs[i] = d.Pair
 	}
+	dv := feature.ExtractAll(s.extractor, demoPairs)
 	contrast := batchContrast(qv)
 
 	// Copy-answer collapse: a near-homogeneous batch sometimes gets one

@@ -33,6 +33,7 @@ import (
 	"batcher/internal/blocking"
 	"batcher/internal/core"
 	"batcher/internal/entity"
+	"batcher/internal/feature"
 	"batcher/internal/llm"
 	"batcher/internal/runstore"
 )
@@ -274,6 +275,17 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	return rep, nil
 }
 
+// window is one producer-to-consumer handoff: the buffered candidate
+// pairs plus their pre-built entity profiles. The producer warms the
+// profile cache incrementally as candidates arrive — profile
+// construction overlaps the previous window's matching — and the cache
+// is dropped with its window, so profile memory stays bounded by the
+// window size however long the stream runs.
+type window struct {
+	pairs    []entity.Pair
+	profiles *feature.Profiles
+}
+
 // runWindowed overlaps blocking with matching: a producer goroutine
 // drives the candidate stream into windows of StreamWindow pairs and
 // hands each full window to the consumer (this goroutine), which matches
@@ -288,27 +300,29 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 // already-answered batches come back as free hits — and matching
 // proceeds normally from there.
 func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *core.Framework, tableA, tableB []entity.Record) (*Report, error) {
-	window := cfg.StreamWindow
 	bctx, bcancel := context.WithCancel(ctx)
 	defer bcancel()
 
-	windows := make(chan []entity.Pair) // unbuffered: direct handoff
-	errc := make(chan error, 1)         // producer's terminal error, at most one
-	var blocked atomic.Int64            // live count for concurrent progress
+	windows := make(chan window) // unbuffered: direct handoff
+	errc := make(chan error, 1)  // producer's terminal error, at most one
+	var blocked atomic.Int64     // live count for concurrent progress
 	var blockingDone atomic.Bool
 	var peak int // written by producer, read after windows closes
 	var blockingTime time.Duration
+	extractor := f.Config().Extractor
 	t0 := time.Now()
 	go func() {
 		defer close(windows)
-		buf := make([]entity.Pair, 0, window)
+		buf := make([]entity.Pair, 0, cfg.StreamWindow)
+		profs := feature.NewProfiles(extractor)
 		flush := func() bool {
 			if len(buf) > peak {
 				peak = len(buf)
 			}
 			select {
-			case windows <- buf:
-				buf = make([]entity.Pair, 0, window)
+			case windows <- window{pairs: buf, profiles: profs}:
+				buf = make([]entity.Pair, 0, cfg.StreamWindow)
+				profs = feature.NewProfiles(extractor)
 				return true
 			case <-bctx.Done():
 				errc <- bctx.Err()
@@ -321,12 +335,13 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 				return
 			}
 			buf = append(buf, p)
+			profs.Warm(p)
 			n := blocked.Add(1)
 			if cfg.MaxCandidates > 0 && int(n) > cfg.MaxCandidates {
 				errc <- errCandidateCap(cfg.MaxCandidates)
 				return
 			}
-			if len(buf) == window {
+			if len(buf) == cfg.StreamWindow {
 				if !flush() {
 					return
 				}
@@ -368,11 +383,15 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		return rep, err
 	}
 	wIdx, offset := 0, 0
-	for win := range windows {
+	for w := range windows {
+		win := w.pairs
 		pool := cfg.Pool
 		if pool == nil {
 			pool = win
 		}
+		// Hand the producer-built profiles to the matcher's feature
+		// extraction; the cache dies with this iteration.
+		wctx := feature.WithProfiles(ctx, w.profiles)
 		replayed := false
 		var res *core.Result
 		var err error
@@ -393,7 +412,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		}
 		if !replayed {
 			t1 := time.Now()
-			res, err = resolveJournaled(ctx, f, cfg.Journal, wIdx, offset, win, pool, keys)
+			res, err = resolveJournaled(wctx, f, cfg.Journal, wIdx, offset, win, pool, keys)
 			matchingTime += time.Since(t1)
 		} else {
 			rep.Replayed += len(win)

@@ -1,0 +1,8 @@
+//go:build race
+
+package profile
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops items to shake out races, so tests that
+// measure pooled-scratch steady-state allocations cannot run there.
+const raceEnabled = true

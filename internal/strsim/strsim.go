@@ -6,56 +6,28 @@
 //
 // All similarity functions return values in [0, 1], with 1 meaning
 // identical, and treat two empty strings as identical (similarity 1).
+//
+// These string-based entry points are thin wrappers over one-shot
+// profiles from internal/profile: each call builds the operand profiles
+// in pooled scratch and runs the allocation-free merge kernels. Callers
+// comparing the same strings repeatedly (blocking, feature extraction)
+// should build profiles once and use the profile kernels directly —
+// that is the hot path; these wrappers are the convenience path.
 package strsim
 
 import (
-	"math"
 	"strings"
 	"unicode"
+
+	"batcher/internal/profile"
 )
 
 // Levenshtein returns the edit distance between a and b: the minimum number
 // of single-rune insertions, deletions, and substitutions that transform a
-// into b. It runs in O(len(a)*len(b)) time and O(min) space.
+// into b. It runs in O(len(a)*len(b)) time and O(min) pooled space, with an
+// ASCII fast path that allocates nothing in steady state.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	// Keep the shorter string in rb to bound the row width.
-	if len(rb) > len(ra) {
-		ra, rb = rb, ra
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
+	return profile.LevenshteinStrings(a, b)
 }
 
 // LevenshteinRatio returns the paper's LR similarity (Eq. 5):
@@ -65,12 +37,7 @@ func min3(a, b, c int) int {
 // where LED is the Levenshtein edit distance and the denominator is the sum
 // of the rune lengths. Two empty strings yield 1.
 func LevenshteinRatio(a, b string) float64 {
-	la, lb := len([]rune(a)), len([]rune(b))
-	if la == 0 && lb == 0 {
-		return 1
-	}
-	d := Levenshtein(a, b)
-	return 1 - float64(d)/float64(la+lb)
+	return profile.LevenshteinRatioStrings(a, b)
 }
 
 // Tokenize splits s into lowercase word tokens on any non-letter/non-digit
@@ -93,8 +60,7 @@ func TokenSet(s string) map[string]bool {
 // Jaccard returns the Jaccard similarity (Eq. 4) between the token sets of
 // a and b: |A ∩ B| / |A ∪ B|. Two strings with no tokens yield 1.
 func Jaccard(a, b string) float64 {
-	sa, sb := TokenSet(a), TokenSet(b)
-	return JaccardSets(sa, sb)
+	return profile.JaccardStrings(a, b)
 }
 
 // JaccardSets returns the Jaccard similarity of two prebuilt token sets.
@@ -119,60 +85,23 @@ func JaccardSets(sa, sb map[string]bool) float64 {
 // token sets of a and b. Empty-versus-empty yields 1; empty-versus-nonempty
 // yields 0.
 func Overlap(a, b string) float64 {
-	sa, sb := TokenSet(a), TokenSet(b)
-	if len(sa) == 0 && len(sb) == 0 {
-		return 1
-	}
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	inter := 0
-	for t := range sa {
-		if sb[t] {
-			inter++
-		}
-	}
-	m := len(sa)
-	if len(sb) < m {
-		m = len(sb)
-	}
-	return float64(inter) / float64(m)
+	return profile.OverlapStrings(a, b)
 }
 
 // Cosine returns the cosine similarity between the token frequency vectors
 // of a and b. Empty-versus-empty yields 1.
 func Cosine(a, b string) float64 {
-	ta, tb := Tokenize(a), Tokenize(b)
-	if len(ta) == 0 && len(tb) == 0 {
-		return 1
-	}
-	if len(ta) == 0 || len(tb) == 0 {
-		return 0
-	}
-	fa := make(map[string]int)
-	for _, t := range ta {
-		fa[t]++
-	}
-	fb := make(map[string]int)
-	for _, t := range tb {
-		fb[t]++
-	}
-	var dot, na, nb float64
-	for t, c := range fa {
-		na += float64(c * c)
-		if cb, ok := fb[t]; ok {
-			dot += float64(c * cb)
-		}
-	}
-	for _, c := range fb {
-		nb += float64(c * c)
-	}
-	return dot / (sqrt(na) * sqrt(nb))
+	return profile.CosineStrings(a, b)
 }
 
 // QGrams returns the set of q-grams (length-q rune substrings) of s,
 // padded with q-1 leading and trailing '#' characters so boundary
 // characters contribute as many grams as interior ones. q must be >= 1.
+//
+// Deprecated-in-spirit: this legacy form keeps the '#' pad, which
+// collides with literal '#' characters in the input. The q-gram kernel
+// behind QGramJaccard uses a non-collidable NUL sentinel instead; prefer
+// profile.Builder gram signatures for new code.
 func QGrams(s string, q int) map[string]bool {
 	if q < 1 {
 		panic("strsim: q must be >= 1")
@@ -187,38 +116,26 @@ func QGrams(s string, q int) map[string]bool {
 }
 
 // QGramJaccard returns the Jaccard similarity of the q-gram sets of a and b.
+//
+// Unlike the legacy QGrams map form, the padding sentinel is U+0000, so a
+// literal '#' in the input is an ordinary character and cannot inflate the
+// overlap by colliding with the pad (the "c#" bug).
 func QGramJaccard(a, b string, q int) float64 {
-	return JaccardSets(QGrams(a, q), QGrams(b, q))
+	if q < 1 {
+		panic("strsim: q must be >= 1")
+	}
+	return profile.QGramJaccardStrings(a, b, q)
 }
 
 // MongeElkan returns the Monge-Elkan hybrid similarity of a and b: for each
 // token of a, the best LevenshteinRatio against any token of b, averaged.
 // It is asymmetric; SymMongeElkan averages both directions.
 func MongeElkan(a, b string) float64 {
-	ta, tb := Tokenize(a), Tokenize(b)
-	if len(ta) == 0 && len(tb) == 0 {
-		return 1
-	}
-	if len(ta) == 0 || len(tb) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, x := range ta {
-		best := 0.0
-		for _, y := range tb {
-			if s := LevenshteinRatio(x, y); s > best {
-				best = s
-			}
-		}
-		sum += best
-	}
-	return sum / float64(len(ta))
+	return profile.MongeElkanStrings(a, b)
 }
 
 // SymMongeElkan is the symmetric Monge-Elkan similarity: the mean of the
 // two directed scores.
 func SymMongeElkan(a, b string) float64 {
-	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+	return profile.SymMongeElkanStrings(a, b)
 }
-
-func sqrt(x float64) float64 { return math.Sqrt(x) }

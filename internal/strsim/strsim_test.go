@@ -224,6 +224,29 @@ func TestQGramJaccard(t *testing.T) {
 	}
 }
 
+func TestQGramJaccardPadSentinelNotCollidable(t *testing.T) {
+	// Regression for the '#' padding collision: a literal '#' in the
+	// input used to merge with the pad sentinel and inflate the q-gram
+	// overlap (QGramJaccard("ab#", "ab", 3) scored 0.8). With the NUL
+	// sentinel, '#' is an ordinary character.
+	hash := QGramJaccard("ab#", "ab", 3)
+	plain := QGramJaccard("abx", "ab", 3)
+	if hash != plain {
+		t.Errorf("literal '#' still treated as padding: sim(ab#,ab)=%v, sim(abx,ab)=%v", hash, plain)
+	}
+	if hash >= 0.5 {
+		t.Errorf("pad collision inflation: sim(ab#,ab)=%v, want < 0.5", hash)
+	}
+	// "c#"-style inputs: identical strings still score 1, and '#' does
+	// not buy extra similarity against the '#'-less form.
+	if got := QGramJaccard("c#", "c#", 2); got != 1 {
+		t.Errorf("sim(c#,c#) = %v, want 1", got)
+	}
+	if cs, cx := QGramJaccard("c#", "c", 2), QGramJaccard("cx", "c", 2); cs != cx {
+		t.Errorf("sim(c#,c)=%v differs from sim(cx,c)=%v", cs, cx)
+	}
+}
+
 func TestMongeElkan(t *testing.T) {
 	if got := MongeElkan("", ""); !close(got, 1) {
 		t.Errorf("MongeElkan(empty,empty) = %v", got)
