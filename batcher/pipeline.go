@@ -117,12 +117,13 @@ var ErrRunMismatch = runstore.ErrRunMismatch
 // journal that already holds records is refused, so two different
 // experiments cannot silently interleave under one run ID; with resume
 // true its state is replayed by the next RunPipeline over it. A journal
-// directory is owned by one process at a time.
-func OpenRunJournal(dir, runID string, resume bool) (*RunJournal, error) {
+// directory is owned by one process at a time. ctx bounds the replay of
+// existing journal segments at open.
+func OpenRunJournal(ctx context.Context, dir, runID string, resume bool) (*RunJournal, error) {
 	if runID == "" {
 		return nil, fmt.Errorf("batcher: empty run ID")
 	}
-	j, err := runstore.OpenJournal(filepath.Join(dir, runID))
+	j, err := runstore.OpenJournal(ctx, filepath.Join(dir, runID))
 	if err != nil {
 		return nil, err
 	}
@@ -142,9 +143,10 @@ type DiskCache = runstore.Cache
 // stored in dir, content-addressed by the full request (model, system
 // prompt, prompt, temperature, max-tokens). maxBytes bounds the store
 // (<= 0 uses a 256 MiB default); least-recently-used responses are
-// compacted away past the bound. Close it after the run to flush.
-func NewDiskCachedClient(inner Client, dir string, maxBytes int64) (*DiskCache, error) {
-	return runstore.OpenCache(inner, dir, maxBytes)
+// compacted away past the bound. Close it after the run to flush. ctx
+// bounds the replay of existing cache segments at open.
+func NewDiskCachedClient(ctx context.Context, inner Client, dir string, maxBytes int64) (*DiskCache, error) {
+	return runstore.OpenCache(ctx, inner, dir, maxBytes)
 }
 
 // WithParallelism dispatches up to n batch prompts concurrently. Results

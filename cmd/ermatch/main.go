@@ -38,6 +38,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -77,13 +78,23 @@ func main() {
 	}
 	tableA, err := batcher.ReadCSVTable(*pathA)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("reading -a: %w", err))
 	}
 	tableB, err := batcher.ReadCSVTable(*pathB)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("reading -b: %w", err))
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: loaded %d + %d records\n", len(tableA), len(tableB))
+
+	// Ctrl-C cancels the run between LLM calls; rows written so far stay
+	// on disk. An output write failure cancels the same way, so a full
+	// disk stops the spend instead of matching to completion. The same
+	// ctx bounds the journal/cache segment replay at open, so Ctrl-C
+	// works while a large previous run is still being loaded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
 
 	var client batcher.Client
 	if *apiBase != "" {
@@ -94,9 +105,9 @@ func main() {
 	var cache *batcher.DiskCache
 	if *cacheDir != "" {
 		var err error
-		cache, err = batcher.NewDiskCachedClient(client, *cacheDir, *cacheMB<<20)
+		cache, err = batcher.NewDiskCachedClient(ctx, client, *cacheDir, *cacheMB<<20)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("opening -cache-dir %s: %w", *cacheDir, err))
 		}
 		defer cache.Close()
 		client = cache
@@ -104,33 +115,26 @@ func main() {
 	var journal *batcher.RunJournal
 	if *runID != "" {
 		var err error
-		journal, err = batcher.OpenRunJournal(*runDir, *runID, *resume)
+		journal, err = batcher.OpenRunJournal(ctx, *runDir, *runID, *resume)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("opening run journal %q: %w", *runID, err))
 		}
 		defer journal.Close()
 	} else if *resume {
-		fatal(fmt.Errorf("-resume requires -run-id"))
+		fatal(errors.New("-resume requires -run-id"))
 	}
-	// Ctrl-C cancels the run between LLM calls; rows written so far stay
-	// on disk. An output write failure cancels the same way, so a full
-	// disk stops the spend instead of matching to completion.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	ctx, abort := context.WithCancel(ctx)
-	defer abort()
 
 	w := csv.NewWriter(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("creating -out: %w", err))
 		}
 		defer f.Close()
 		w = csv.NewWriter(f)
 	}
 	if err := w.Write([]string{"id_a", "id_b", "match"}); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("writing output header: %w", err))
 	}
 	written, matches := 0, 0
 	var writeErr error
@@ -199,7 +203,12 @@ func main() {
 		}
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "ermatch: run stopped early: %v (%d rows written)\n", runErr, written)
-			if *runID != "" {
+			// Because every layer wraps with %w, the sentinel survives to
+			// here: a mismatched journal gets an actionable hint instead
+			// of a buried error string.
+			if errors.Is(runErr, batcher.ErrRunMismatch) {
+				fmt.Fprintf(os.Stderr, "ermatch: journal %q was written by a different configuration (tables, model, seed, window, or pool mode); re-run with matching flags or pick a new -run-id\n", *runID)
+			} else if *runID != "" {
 				fmt.Fprintf(os.Stderr, "ermatch: resume with: -run-id %s -resume\n", *runID)
 			}
 		}

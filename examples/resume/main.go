@@ -67,12 +67,12 @@ func main() {
 	sim := batcher.NewSimulatedClient(ds.Pairs, 1)
 
 	run := func(attempt string, client batcher.Client, resume bool) *batcher.PipelineReport {
-		cache, err := batcher.NewDiskCachedClient(client, cacheDir, 0)
+		cache, err := batcher.NewDiskCachedClient(ctx, client, cacheDir, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer cache.Close()
-		journal, err := batcher.OpenRunJournal(runDir, "fz-nightly", resume)
+		journal, err := batcher.OpenRunJournal(ctx, runDir, "fz-nightly", resume)
 		if err != nil {
 			log.Fatal(err)
 		}

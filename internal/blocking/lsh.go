@@ -130,9 +130,11 @@ type SortedNeighborhood struct {
 	KeyPrefix int
 }
 
-// Block implements Blocker.
+// Block implements Blocker. It calls the sort-and-slide core directly
+// rather than collecting BlockStream, so no context is manufactured on
+// a path whose callers have none to offer.
 func (s *SortedNeighborhood) Block(tableA, tableB []entity.Record) []entity.Pair {
-	return collectAll(s.BlockStream(context.Background(), tableA, tableB))
+	return s.block(tableA, tableB)
 }
 
 // BlockStream implements StreamBlocker. Sorted neighborhood's output

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGolden runs each analyzer over its tree under testdata/src and
+// requires the findings to line up exactly with the `// want "regex"`
+// comments in the fixture sources: every finding must match a want on
+// its line, and every want must be consumed. Fixture files with no
+// want comments are the true negatives.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			root := filepath.Join("testdata", "src", a.Name)
+			prog, err := LoadTree(root)
+			if err != nil {
+				t.Fatalf("loading %s: %v", root, err)
+			}
+			findings := Run(prog, []*Analyzer{a}, nil)
+			wants := loadWants(t, root)
+			total := 0
+			for _, ws := range wants {
+				total += len(ws)
+			}
+			if total == 0 {
+				t.Fatalf("no want comments under %s: the golden tree is empty", root)
+			}
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+				idx := -1
+				for i, w := range wants[key] {
+					if w.re.MatchString(f.Message) {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					t.Errorf("unexpected finding at %s: %s", key, f.Message)
+					continue
+				}
+				wants[key] = append(wants[key][:idx], wants[key][idx+1:]...)
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					t.Errorf("missing finding at %s: no message matched %q", key, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// wantEntry is one expected finding: a regexp the message must match.
+type wantEntry struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+// wantComment extracts the quoted pattern from a `// want "..."` or
+// a // want `...` comment.
+var wantComment = regexp.MustCompile("//\\s*want\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// loadWants collects want comments from every fixture file under root,
+// keyed by "file:line" using the same file names the loader records.
+func loadWants(t *testing.T, root string) map[string][]wantEntry {
+	t.Helper()
+	wants := map[string][]wantEntry{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			m := wantComment.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want literal %s: %v", path, line, m[1], err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+			}
+			key := fmt.Sprintf("%s:%d", path, line)
+			wants[key] = append(wants[key], wantEntry{pattern: pat, re: re})
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoInvariants loads the whole module and runs the full analyzer
+// suite with the checked-in allowlist: a plain `go test ./...` thereby
+// enforces every project invariant. Any finding — including an unused
+// allowlist entry — fails the build.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is not short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	allow, err := LoadAllowlist(root, filepath.Join(root, AllowFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(prog, Analyzers(), allow) {
+		t.Errorf("%s (decl %s)", f.String(), f.Decl)
+	}
+}
+
+// TestAllowlistFormat rejects malformed allowlist lines so a typo in
+// .erlint.allow is caught even before the suite runs.
+func TestAllowlistFormat(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAllowlist(root, filepath.Join(root, AllowFile)); err != nil {
+		t.Fatalf("parsing %s: %v", AllowFile, err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package core is a ctxfirst fixture: it sits in a ctx layer (path
+// tail "core"), so its exported I/O surface must accept a
+// context.Context, and any context parameter must come first.
+package core
+
+import (
+	"context"
+	"os"
+)
+
+// LoadTable does file I/O with no way for the caller to cancel it.
+func LoadTable(path string) ([]byte, error) { // want `calls os\.ReadFile`
+	return os.ReadFile(path)
+}
+
+// Misplaced accepts a context but hides it behind another parameter.
+func Misplaced(path string, ctx context.Context) error { // want `must be the first parameter`
+	_ = path
+	_ = ctx
+	return nil
+}
+
+// Snapshot wraps an unexported I/O helper, so the I/O taint is
+// transitive: it still needs a context.
+func Snapshot(path string) error { // want `calls openRaw, which performs I/O`
+	f, err := openRaw(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func openRaw(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// Detached manufactures its own context instead of accepting one, so
+// the caller's cancellation never reaches the work below it.
+func Detached(path string) error { // want `manufactures a context via context\.Background`
+	ctx := context.Background()
+	_ = ctx
+	_ = path
+	return nil
+}
+
+// ReadAll is the compliant shape: context first, I/O legal.
+func ReadAll(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// Tokenize is pure CPU work: no context required.
+func Tokenize(s string) []string {
+	return []string{s}
+}

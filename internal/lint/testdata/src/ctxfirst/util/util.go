@@ -1,0 +1,20 @@
+// Package util is outside the ctx layers: exported I/O without a
+// context is legal here, but the ctx-first ordering rule still applies
+// everywhere.
+package util
+
+import (
+	"context"
+	"os"
+)
+
+// Dump is exported I/O outside the ctx layers: no finding.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Buried violates ctx-first even outside the ctx layers.
+func Buried(n int, ctx context.Context) { // want `must be the first parameter`
+	_ = n
+	_ = ctx
+}

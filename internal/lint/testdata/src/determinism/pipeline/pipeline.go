@@ -1,0 +1,74 @@
+// Package pipeline is a determinism fixture: it sits in a journaled
+// layer (path tail "pipeline"), so wall clocks, the global PRNG, and
+// order-leaking map iteration are banned.
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock on a journaled path.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time\.Now on a journaled path`
+}
+
+// Jitter draws from the process-global unseeded source.
+func Jitter(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn`
+}
+
+// Seeded draws from an explicitly seeded source: deterministic given
+// the run configuration, so legal.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Keys leaks map-iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds append to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts, laundering the map order out: legal.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish emits map entries on a channel in iteration order.
+func Publish(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration feeds a channel send`
+		ch <- k
+	}
+}
+
+// All yields map entries to an iterator consumer in map order.
+func All(m map[string]int) func(yield func(string) bool) {
+	return func(yield func(string) bool) {
+		for k := range m { // want `map iteration feeds the iterator yield yield`
+			if !yield(k) {
+				return
+			}
+		}
+	}
+}
+
+// Total is commutative aggregation: iteration order cannot show in the
+// result, so no finding.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Package util is outside the journaled layers: wall-clock reads are
+// fine here, so this file is the analyzer's true negative.
+package util
+
+import "time"
+
+// Stamp reads the clock outside the deterministic layers: no finding.
+func Stamp() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,33 @@
+// Package wrap is an errwrap fixture: fmt.Errorf must wrap error
+// arguments with %w so errors.Is/As can walk the chain.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a sentinel callers match with errors.Is.
+var ErrNotFound = errors.New("not found")
+
+// Flattened severs the chain: errors.Is can no longer see ErrNotFound
+// through the %v-formatted text.
+func Flattened(name string) error {
+	return fmt.Errorf("loading %s: %v", name, ErrNotFound) // want `formatted with %v`
+}
+
+// Stringified is the same bug through %s.
+func Stringified(err error) error {
+	return fmt.Errorf("stage failed: %s", err) // want `formatted with %s`
+}
+
+// Wrapped keeps the chain intact: no finding.
+func Wrapped(name string, err error) error {
+	return fmt.Errorf("loading %s: %w", name, err)
+}
+
+// Textual formats a plain string with %v: not an error argument, so no
+// finding.
+func Textual(name string) error {
+	return fmt.Errorf("unknown table %v", name)
+}

@@ -1,0 +1,30 @@
+// Package app calls the LLM from outside the sanctioned layers: raw
+// Complete calls here bypass the ledger and the response cache.
+package app
+
+import (
+	"context"
+
+	"llm"
+)
+
+// Probe issues a raw completion outside core and the middleware stack.
+func Probe(ctx context.Context, c llm.Client) (string, error) {
+	resp, err := c.Complete(ctx, llm.Request{Prompt: "match?"}) // want `bypasses the metered/cached client stack`
+	if err != nil {
+		return "", err
+	}
+	return resp.Completion, nil
+}
+
+// Logging is middleware: its Complete forwards to the wrapped client,
+// which is the one sanctioned forwarding shape outside core.
+type Logging struct {
+	// Inner is the wrapped client.
+	Inner llm.Client
+}
+
+// Complete implements llm.Client by forwarding.
+func (l *Logging) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return l.Inner.Complete(ctx, req)
+}

@@ -1,0 +1,18 @@
+// Package core owns the cost ledger: raw Complete calls are sanctioned
+// here, so this package is the analyzer's true negative.
+package core
+
+import (
+	"context"
+
+	"llm"
+)
+
+// Match bills a request through the ledger-owning matcher loop.
+func Match(ctx context.Context, c llm.Client) (string, error) {
+	resp, err := c.Complete(ctx, llm.Request{Prompt: "pair"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Completion, nil
+}

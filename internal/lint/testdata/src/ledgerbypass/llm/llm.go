@@ -1,0 +1,25 @@
+// Package llm is a stub of the real client stack: just enough surface
+// for the ledgerbypass fixture to type-check. The analyzer finds the
+// Client interface by package-path tail, so this stub stands in for
+// batcher/internal/llm.
+package llm
+
+import "context"
+
+// Request is one completion request.
+type Request struct {
+	// Prompt is the user prompt.
+	Prompt string
+}
+
+// Response is one completion answer.
+type Response struct {
+	// Completion is the model's text.
+	Completion string
+}
+
+// Client is the completion interface the analyzer keys on.
+type Client interface {
+	// Complete answers one request.
+	Complete(ctx context.Context, req Request) (Response, error)
+}

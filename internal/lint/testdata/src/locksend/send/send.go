@@ -1,0 +1,76 @@
+// Package send is a locksend fixture: no channel sends inside a mutex
+// critical section, and no mutexes passed or received by value.
+package send
+
+import "sync"
+
+// Queue couples a lock to a stream of values.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// Push sends while holding the lock: a slow receiver blocks the
+// critical section.
+func (q *Queue) Push(ch chan<- int, v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	ch <- v // want `channel send while holding q\.mu`
+	q.mu.Unlock()
+}
+
+// Drain holds the lock for the whole function via the deferred Unlock,
+// so every send below is inside the critical section.
+func (q *Queue) Drain(ch chan<- int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, v := range q.items {
+		ch <- v // want `channel send while holding q\.mu`
+	}
+	q.items = q.items[:0]
+}
+
+// ByValue copies the lock into the parameter: the copy guards nothing.
+func ByValue(mu sync.Mutex) { // want `carries a mutex by value`
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Counter embeds its mutex, so a value receiver copies the lock.
+type Counter struct {
+	sync.Mutex
+	n int
+}
+
+// Bump locks a copy of the receiver: useless.
+func (c Counter) Bump() { // want `carries a mutex by value`
+	c.Lock()
+	c.n++
+	c.Unlock()
+}
+
+// PushSafe copies the value out and sends after Unlock: no finding.
+func (q *Queue) PushSafe(ch chan<- int, v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	ch <- v
+}
+
+// Spawn sends from a goroutine that runs on its own schedule: the
+// creator's critical section does not extend into it, so no finding.
+func (q *Queue) Spawn(ch chan<- int, v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		ch <- v
+	}()
+}
+
+// Locked takes the lock by pointer and sends after releasing it: no
+// finding on either rule.
+func Locked(mu *sync.Mutex, ch chan<- int, v int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- v
+}

@@ -1,0 +1,68 @@
+// Package pool is a poolescape fixture: a sync.Pool Get is a loan that
+// must be Put back on every path and must not escape the borrower.
+package pool
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var errFail = errors.New("fail")
+
+func use(b *[]byte) { _ = b }
+
+// Leak borrows and never returns the loan.
+func Leak() {
+	b := bufPool.Get().(*[]byte) // want `never Put back`
+	use(b)
+}
+
+// Borrow hands the pooled object to the caller, who has no obligation
+// to return it.
+func Borrow() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	return b // want `escapes via return value`
+}
+
+// EarlyReturn can exit between the Get and the Put, leaking the loan
+// on the error path.
+func EarlyReturn(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		return errFail // want `return path between Get and Put`
+	}
+	use(b)
+	bufPool.Put(b)
+	return nil
+}
+
+// Async captures the loan in a goroutine that never Puts it back, so
+// the loan can outlive the borrowing call.
+func Async() {
+	b := bufPool.Get().(*[]byte)
+	go func() { // want `captured by a closure that never Puts`
+		use(b)
+	}()
+	bufPool.Put(b)
+}
+
+// DeferPut is the canonical safe shape: the cleanup is registered
+// immediately, so every path returns the loan.
+func DeferPut() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(b)
+}
+
+// CleanupClosure resets and returns the loan from a deferred closure:
+// the one closure capture that is legal.
+func CleanupClosure() {
+	b := bufPool.Get().(*[]byte)
+	defer func() {
+		*b = (*b)[:0]
+		bufPool.Put(b)
+	}()
+	use(b)
+}

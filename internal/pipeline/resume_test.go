@@ -155,11 +155,11 @@ func runResumeProperty(t *testing.T, rc resumeConfig) {
 			backend := &countingClient{inner: llm.NewSimulated(oracle, 1)}
 
 			// Attempt 1: crash after k successful calls.
-			j1, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+			j1, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 			if err != nil {
 				t.Fatal(err)
 			}
-			c1, err := runstore.OpenCache(&failAfter{inner: backend, left: k}, filepath.Join(dir, "cache"), 0)
+			c1, err := runstore.OpenCache(context.Background(), &failAfter{inner: backend, left: k}, filepath.Join(dir, "cache"), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,12 +179,12 @@ func runResumeProperty(t *testing.T, rc resumeConfig) {
 
 			// Attempt 2: resume over the same journal and cache with a
 			// healthy client.
-			j2, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+			j2, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer j2.Close()
-			c2, err := runstore.OpenCache(backend, filepath.Join(dir, "cache"), 0)
+			c2, err := runstore.OpenCache(context.Background(), backend, filepath.Join(dir, "cache"), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -285,11 +285,11 @@ func TestResumeLargeRunArbitraryBoundary(t *testing.T) {
 	dir := t.TempDir()
 	backend := &countingClient{inner: llm.NewSimulated(oracle, 1)}
 
-	j1, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+	j1, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, err := runstore.OpenCache(&failAfter{inner: backend, left: k}, filepath.Join(dir, "cache"), 0)
+	c1, err := runstore.OpenCache(context.Background(), &failAfter{inner: backend, left: k}, filepath.Join(dir, "cache"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,12 +299,12 @@ func TestResumeLargeRunArbitraryBoundary(t *testing.T) {
 	c1.Close()
 	j1.Close()
 
-	j2, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+	j2, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	c2, err := runstore.OpenCache(backend, filepath.Join(dir, "cache"), 0)
+	c2, err := runstore.OpenCache(context.Background(), backend, filepath.Join(dir, "cache"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 	client := llm.NewSimulated(llm.BuildOracle(d.Pairs), 1)
 	dir := t.TempDir()
 
-	j1, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+	j1, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 	}
 	j1.Close()
 
-	j2, err := runstore.OpenJournal(filepath.Join(dir, "run"))
+	j2, err := runstore.OpenJournal(context.Background(), filepath.Join(dir, "run"))
 	if err != nil {
 		t.Fatal(err)
 	}

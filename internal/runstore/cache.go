@@ -67,8 +67,9 @@ const DefaultCacheBytes = 256 << 20
 
 // OpenCache opens (creating if necessary) the persistent response cache
 // stored in dir, wrapping inner. maxBytes bounds the on-disk size;
-// values <= 0 use DefaultCacheBytes.
-func OpenCache(inner llm.Client, dir string, maxBytes int64) (*Cache, error) {
+// values <= 0 use DefaultCacheBytes. ctx bounds the replay of existing
+// cache segments; cancelling it abandons the open with no cache.
+func OpenCache(ctx context.Context, inner llm.Client, dir string, maxBytes int64) (*Cache, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheBytes
 	}
@@ -81,7 +82,7 @@ func OpenCache(inner llm.Client, dir string, maxBytes int64) (*Cache, error) {
 		maxBytes: maxBytes,
 		entries:  map[string]*cacheVal{},
 	}
-	last, err := readSegments(dir, "cache", func(raw json.RawMessage) error {
+	last, err := readSegments(ctx, dir, "cache", func(raw json.RawMessage) error {
 		var rec cacheRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return fmt.Errorf("runstore: decode cache record: %w", err)

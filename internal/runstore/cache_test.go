@@ -30,7 +30,7 @@ func (c *countClient) Complete(_ context.Context, req llm.Request) (llm.Response
 
 func TestCacheHitSkipsInnerAndBillsZero(t *testing.T) {
 	inner := &countClient{}
-	c, err := OpenCache(inner, t.TempDir(), 0)
+	c, err := OpenCache(context.Background(), inner, t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +64,14 @@ func TestCacheHitSkipsInnerAndBillsZero(t *testing.T) {
 func TestCachePersistsAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	inner := &countClient{}
-	c, _ := OpenCache(inner, dir, 0)
+	c, _ := OpenCache(context.Background(), inner, dir, 0)
 	req := llm.Request{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 64}
 	orig, _ := c.Complete(context.Background(), req)
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	c2, err := OpenCache(inner, dir, 0)
+	c2, err := OpenCache(context.Background(), inner, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestCacheCompactionBoundsDisk(t *testing.T) {
 	dir := t.TempDir()
 	inner := &countClient{}
 	const budget = 8 * 1024
-	c, _ := OpenCache(inner, dir, budget)
+	c, _ := OpenCache(context.Background(), inner, dir, budget)
 	for i := 0; i < 300; i++ {
 		_, err := c.Complete(context.Background(), llm.Request{
 			Model: "m", Prompt: fmt.Sprintf("prompt-%03d-%s", i, "padpadpadpadpadpadpadpad"),
@@ -130,7 +130,7 @@ func TestCacheCompactionBoundsDisk(t *testing.T) {
 	}
 
 	// The most recent entries survive; reopen sees a working, bounded set.
-	c2, err := OpenCache(inner, dir, budget)
+	c2, err := OpenCache(context.Background(), inner, dir, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestCacheCompactionPreservesRecencyAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	inner := &countClient{}
 	const budget = 4 * 1024
-	c, _ := OpenCache(inner, dir, budget)
+	c, _ := OpenCache(context.Background(), inner, dir, budget)
 	pad := "padpadpadpadpadpadpadpadpadpadpad"
 	req := func(i int) llm.Request {
 		return llm.Request{Model: "m", Prompt: fmt.Sprintf("prompt-%03d-%s", i, pad)}
@@ -167,7 +167,7 @@ func TestCacheCompactionPreservesRecencyAcrossReopen(t *testing.T) {
 	c.Complete(context.Background(), hottest)
 	c.Close()
 
-	c2, err := OpenCache(inner, dir, budget)
+	c2, err := OpenCache(context.Background(), inner, dir, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestCacheCompactionPreservesRecencyAcrossReopen(t *testing.T) {
 func TestCacheToleratesTornTail(t *testing.T) {
 	dir := t.TempDir()
 	inner := &countClient{}
-	c, _ := OpenCache(inner, dir, 0)
+	c, _ := OpenCache(context.Background(), inner, dir, 0)
 	c.Complete(context.Background(), llm.Request{Model: "m", Prompt: "keep"})
 	c.Close()
 
@@ -202,7 +202,7 @@ func TestCacheToleratesTornTail(t *testing.T) {
 	f.WriteString(`{"c":99,"r":{"k":"torn`)
 	f.Close()
 
-	c2, err := OpenCache(inner, dir, 0)
+	c2, err := OpenCache(context.Background(), inner, dir, 0)
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
@@ -214,7 +214,7 @@ func TestCacheToleratesTornTail(t *testing.T) {
 
 func TestCacheConcurrent(t *testing.T) {
 	inner := &countClient{}
-	c, _ := OpenCache(inner, t.TempDir(), 0)
+	c, _ := OpenCache(context.Background(), inner, t.TempDir(), 0)
 	defer c.Close()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

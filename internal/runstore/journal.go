@@ -1,6 +1,7 @@
 package runstore
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -266,15 +267,16 @@ type Journal struct {
 // OpenJournal opens (creating if necessary) the run journal stored in
 // dir, loading any existing records for resume. The caller decides what
 // an existing non-empty journal means: a resume (replay State) or a
-// collision (refuse and pick a new run ID).
-func OpenJournal(dir string) (*Journal, error) {
+// collision (refuse and pick a new run ID). ctx bounds the replay of
+// existing segments; cancelling it abandons the open with no journal.
+func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	state := &RunState{windows: map[int]*windowState{}}
 	seen := map[batchKey]bool{}
 	wseen := map[int]bool{}
-	last, err := readSegments(dir, "journal", func(raw json.RawMessage) error {
+	last, err := readSegments(ctx, dir, "journal", func(raw json.RawMessage) error {
 		var rec journalRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return fmt.Errorf("runstore: decode journal record: %w", err)

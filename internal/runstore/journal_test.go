@@ -1,6 +1,7 @@
 package runstore
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func testMeta() RunMeta {
 
 func TestJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(dir)
+	j, err := OpenJournal(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, err := OpenJournal(dir)
+	j2, err := OpenJournal(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestJournalRoundTrip(t *testing.T) {
 
 func TestJournalWindowCompleteAndPreds(t *testing.T) {
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	j.WindowStart(WindowStart{Index: 0, Size: 4})
 	j.BatchDone(BatchDone{Window: 0, Batch: 0, Questions: []int{0, 1}, Keys: []string{"k0", "k1"},
 		Pred: []entity.Label{entity.Match, entity.NonMatch}, Calls: 1})
@@ -86,7 +87,7 @@ func TestJournalWindowCompleteAndPreds(t *testing.T) {
 		Pred: []entity.Label{entity.NonMatch, entity.Match}, Calls: 1})
 	j.Close()
 
-	j2, _ := OpenJournal(dir)
+	j2, _ := OpenJournal(context.Background(), dir)
 	defer j2.Close()
 	preds, ok := j2.State().WindowPreds(0, 4)
 	if !ok {
@@ -105,7 +106,7 @@ func TestJournalWindowCompleteAndPreds(t *testing.T) {
 
 func TestJournalFirstWriteWins(t *testing.T) {
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	real := BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k"},
 		Pred: []entity.Label{entity.Match}, Calls: 1, InputTokens: 50, APIDollars: 0.05}
 	if err := j.BatchDone(real); err != nil {
@@ -119,11 +120,11 @@ func TestJournalFirstWriteWins(t *testing.T) {
 	j.Close()
 
 	// ...or across a reopen, even if a duplicate somehow reached disk.
-	j2, _ := OpenJournal(dir)
+	j2, _ := OpenJournal(context.Background(), dir)
 	j2.BatchDone(zero)
 	j2.Close()
 
-	j3, _ := OpenJournal(dir)
+	j3, _ := OpenJournal(context.Background(), dir)
 	defer j3.Close()
 	l, _ := j3.State().WindowUsage(0)
 	if l.Calls() != 1 || l.InputTokens() != 50 || l.API() != 0.05 {
@@ -133,7 +134,7 @@ func TestJournalFirstWriteWins(t *testing.T) {
 
 func TestJournalToleratesTornTail(t *testing.T) {
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
 	j.BatchDone(BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k"},
 		Pred: []entity.Label{entity.Match}, Calls: 1})
@@ -152,7 +153,7 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	f.WriteString(`{"c":123,"r":{"batch":{"window":0,"ba`)
 	f.Close()
 
-	j2, err := OpenJournal(dir)
+	j2, err := OpenJournal(context.Background(), dir)
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
@@ -168,7 +169,7 @@ func TestJournalToleratesTornTail(t *testing.T) {
 // older segment — later opens must still read past it.
 func TestJournalSurvivesTornTailThenResume(t *testing.T) {
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
 	j.BatchDone(BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k0"},
 		Pred: []entity.Label{entity.Match}, Calls: 1})
@@ -179,7 +180,7 @@ func TestJournalSurvivesTornTailThenResume(t *testing.T) {
 	f.Close()
 
 	// The "resume": drops the torn tail, appends to a new segment.
-	j2, err := OpenJournal(dir)
+	j2, err := OpenJournal(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestJournalSurvivesTornTailThenResume(t *testing.T) {
 	j2.Close()
 
 	// A third open must read both segments, torn line and all.
-	j3, err := OpenJournal(dir)
+	j3, err := OpenJournal(context.Background(), dir)
 	if err != nil {
 		t.Fatalf("journal bricked after torn tail + resume: %v", err)
 	}
@@ -200,7 +201,7 @@ func TestJournalSurvivesTornTailThenResume(t *testing.T) {
 
 func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
 	for b := 0; b < 5; b++ {
 		j.BatchDone(BatchDone{Window: 0, Batch: b, Questions: []int{b}, Keys: []string{"k"},
@@ -227,7 +228,7 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	lines[1] = string(mid)
 	os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
 
-	if _, err := OpenJournal(dir); err == nil {
+	if _, err := OpenJournal(context.Background(), dir); err == nil {
 		t.Error("mid-file corruption accepted")
 	}
 }
@@ -238,7 +239,7 @@ func TestJournalSegmentRotation(t *testing.T) {
 	defer func() { defaultSegmentBytes = old }()
 
 	dir := t.TempDir()
-	j, _ := OpenJournal(dir)
+	j, _ := OpenJournal(context.Background(), dir)
 	for b := 0; b < 20; b++ {
 		err := j.BatchDone(BatchDone{Window: 0, Batch: b, Questions: []int{b}, Keys: []string{"some-longer-pair-key"},
 			Pred: []entity.Label{entity.Match}, Calls: 1, InputTokens: 100})
@@ -251,7 +252,7 @@ func TestJournalSegmentRotation(t *testing.T) {
 	if len(names) < 2 {
 		t.Fatalf("expected rotation, got %d segment(s)", len(names))
 	}
-	j2, _ := OpenJournal(dir)
+	j2, _ := OpenJournal(context.Background(), dir)
 	defer j2.Close()
 	if !j2.State().WindowComplete(0, 20) {
 		t.Error("records lost across segment rotation")

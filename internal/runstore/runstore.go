@@ -32,6 +32,7 @@ package runstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -119,12 +120,18 @@ func listSegments(dir, prefix string) ([]string, int, error) {
 // segments after it. A bad line with more lines behind it can only be
 // real corruption and is an error. Returns the highest existing segment
 // index so writers can start a fresh segment after it.
-func readSegments(dir, prefix string, fn func(raw json.RawMessage) error) (int, error) {
+//
+// ctx is honored between segment files: replaying a large journal or
+// cache directory stops promptly once the caller cancels.
+func readSegments(ctx context.Context, dir, prefix string, fn func(raw json.RawMessage) error) (int, error) {
 	names, last, err := listSegments(dir, prefix)
 	if err != nil {
 		return 0, err
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		path := filepath.Join(dir, name)
 		f, err := os.Open(path)
 		if err != nil {
@@ -140,7 +147,13 @@ func readSegments(dir, prefix string, fn func(raw json.RawMessage) error) (int, 
 				continue
 			}
 			var env envelope
+			// An empty payload is always corruption: the writer marshals a
+			// record before checksumming, so a genuine line carries at least
+			// "{}" — while a corrupt `{}` line would otherwise slip through,
+			// because the CRC of zero bytes is the zero value of the CRC
+			// field. (Found by FuzzReadSegments.)
 			bad := json.Unmarshal(line, &env) != nil ||
+				len(env.Rec) == 0 ||
 				crc32.Checksum(env.Rec, castagnoli) != env.CRC
 			if bad {
 				// Peek: a torn write can only be this segment's last line.
