@@ -39,6 +39,15 @@ type PipelineConfig struct {
 	// demonstrations per window, so predictions can differ from an
 	// unwindowed run.
 	StreamWindow int
+	// InFlightWindows > 1 pipelines a streaming run (StreamWindow > 0):
+	// up to this many windows proceed concurrently, each window's
+	// CPU-bound preparation overlapping other windows' LLM calls, while
+	// an ordered committer keeps every output — predictions, hooks,
+	// ledger, journal bytes — identical to the sequential run. Peak
+	// candidate memory grows to about (InFlightWindows+1) x
+	// StreamWindow. Zero or one keeps the one-window-at-a-time
+	// executor; collected runs (StreamWindow == 0) ignore it.
+	InFlightWindows int
 	// Progress, if non-nil, receives stage snapshots as the run
 	// advances (never concurrently).
 	Progress func(PipelineProgress)
@@ -86,14 +95,15 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA,
 		opt(&mcfg)
 	}
 	return pipeline.Run(ctx, pipeline.Config{
-		Blocker:       blocker,
-		Matcher:       mcfg,
-		Pool:          cfg.Pool,
-		MaxCandidates: cfg.MaxCandidates,
-		StreamWindow:  cfg.StreamWindow,
-		Progress:      cfg.Progress,
-		OnPair:        cfg.OnPair,
-		Journal:       cfg.Journal,
+		Blocker:         blocker,
+		Matcher:         mcfg,
+		Pool:            cfg.Pool,
+		MaxCandidates:   cfg.MaxCandidates,
+		StreamWindow:    cfg.StreamWindow,
+		InFlightWindows: cfg.InFlightWindows,
+		Progress:        cfg.Progress,
+		OnPair:          cfg.OnPair,
+		Journal:         cfg.Journal,
 	}, client, tableA, tableB)
 }
 

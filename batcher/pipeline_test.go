@@ -79,6 +79,55 @@ func TestRunPipelineStreamWindow(t *testing.T) {
 	}
 }
 
+// TestRunPipelineInFlight exercises the facade's pipelined mode: K
+// windows in flight must reproduce the sequential streaming run's
+// predictions and spend exactly.
+func TestRunPipelineInFlight(t *testing.T) {
+	ds, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitPairs(ds.Pairs)
+	newCfg := func(inFlight int) PipelineConfig {
+		return PipelineConfig{
+			BlockAttr:       "beer_name",
+			MinSharedTokens: 2,
+			Pool:            split.Train,
+			Matcher:         []Option{WithSeed(1)},
+			StreamWindow:    16,
+			InFlightWindows: inFlight,
+		}
+	}
+	base, err := RunPipeline(context.Background(), newCfg(1),
+		NewSimulatedClient(ds.Pairs, 1), ds.TableA[:100], ds.TableB[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Windows < 2 {
+		t.Fatalf("want a multi-window run, got %d windows", base.Windows)
+	}
+	got, err := RunPipeline(context.Background(), newCfg(4),
+		NewSimulatedClient(ds.Pairs, 1), ds.TableA[:100], ds.TableB[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Candidates != base.Candidates || got.Windows != base.Windows {
+		t.Errorf("candidates/windows = %d/%d, want %d/%d",
+			got.Candidates, got.Windows, base.Candidates, base.Windows)
+	}
+	if len(got.Result.Pred) != len(base.Result.Pred) {
+		t.Fatalf("prediction counts differ: %d vs %d", len(got.Result.Pred), len(base.Result.Pred))
+	}
+	for i := range base.Result.Pred {
+		if got.Result.Pred[i] != base.Result.Pred[i] {
+			t.Fatalf("prediction %d differs", i)
+		}
+	}
+	if got.Result.Ledger.Total() != base.Result.Ledger.Total() {
+		t.Errorf("ledger total = %v, want %v", got.Result.Ledger.Total(), base.Result.Ledger.Total())
+	}
+}
+
 func TestBlockTablesStreamPublic(t *testing.T) {
 	ds, _ := LoadBenchmark("Beer", 1)
 	ta, tb := ds.TableA[:80], ds.TableB[:80]

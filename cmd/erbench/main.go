@@ -5,9 +5,18 @@
 //
 //	erbench [-exp all|table3|table4|table5|table6|table7|fig6|fig7]
 //	        [-datasets WA,AB,...] [-seeds 1,2,3] [-qcap N] [-poolcap N]
+//	erbench -exp pipeline [-json] [-rows N] [-window N]
+//	        [-latencies 50,200,800] [-inflight 1,2,4,8]
 //
 // With no flags it runs every experiment on all eight datasets with three
 // seeds, printing each table in the paper's layout.
+//
+// -exp pipeline (not part of "all") sweeps pipeline.Run wall-clock over
+// simulated LLM latency x InFlightWindows. With -json the sweep is
+// emitted to stdout as a BENCH_*-style document (goos/goarch/cpu/date +
+// per-cell records) — this is how BENCH_pipeline.json is generated:
+//
+//	erbench -exp pipeline -json > BENCH_pipeline.json
 package main
 
 import (
@@ -22,12 +31,62 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, table5, table6, table7, fig6, fig7, ablations, findings")
+	exp := flag.String("exp", "all", "experiment: all, table3, table4, table5, table6, table7, fig6, fig7, ablations, findings, pipeline")
 	datasets := flag.String("datasets", "", "comma-separated dataset codes (default all)")
 	seeds := flag.String("seeds", "1,2,3", "comma-separated run seeds")
 	qcap := flag.Int("qcap", 0, "cap on test questions per dataset (0 = all)")
 	poolcap := flag.Int("poolcap", 0, "cap on demonstration pool size (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit a BENCH_*-style JSON document to stdout (pipeline experiment only)")
+	rows := flag.Int("rows", 0, "pipeline sweep: records per table (0 = default 8000)")
+	window := flag.Int("window", 0, "pipeline sweep: StreamWindow (0 = default 512)")
+	latencies := flag.String("latencies", "", "pipeline sweep: simulated LLM latencies in ms (default 50,200,800)")
+	inflight := flag.String("inflight", "", "pipeline sweep: InFlightWindows values (default 1,2,4,8)")
 	flag.Parse()
+
+	ints := func(name, s string) []int {
+		if s == "" {
+			return nil
+		}
+		var vs []int
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: bad %s %q: %v\n", name, f, err)
+				os.Exit(2)
+			}
+			vs = append(vs, v)
+		}
+		return vs
+	}
+
+	if *exp == "pipeline" {
+		po := eval.PipelineBenchOptions{
+			Rows:        *rows,
+			Window:      *window,
+			LatenciesMS: ints("latency", *latencies),
+			InFlight:    ints("inflight value", *inflight),
+		}
+		start := time.Now()
+		cells, err := eval.RunPipelineBench(po, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := eval.WriteBenchJSON(os.Stdout, eval.PipelineBenchFile(po, cells)); err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: pipeline: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			eval.FormatPipelineBench(os.Stdout, cells)
+		}
+		fmt.Fprintf(os.Stderr, "[pipeline done in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, "erbench: -json is only supported with -exp pipeline")
+		os.Exit(2)
+	}
 
 	o := eval.Options{QuestionCap: *qcap, PoolCap: *poolcap}
 	if *datasets != "" {

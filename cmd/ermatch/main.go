@@ -13,6 +13,13 @@
 // window instead of the candidate count. The default (0) blocks fully
 // before matching, as earlier versions did.
 //
+// Adding -in-flight K (with K > 1) pipelines the streaming run: up to K
+// windows proceed concurrently — one window's CPU-side preparation
+// overlapping other windows' LLM calls — while results still commit in
+// window order, so the output rows, cost ledger, and journal are
+// exactly the sequential run's. The progress line gains an "in flight"
+// stage counter. Memory grows to about (K+1) windows of candidates.
+//
 // An interrupted run (Ctrl-C, API failure) exits 1 but keeps what was
 // paid for: rows answered before the stop are written (unanswered
 // candidates as "0" in the default mode, completed windows in streaming
@@ -31,6 +38,7 @@
 //
 //	ermatch -a tableA.csv -b tableB.csv -attr title -out matches.csv
 //	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512
+//	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512 -in-flight 4
 //	ermatch -a a.csv -b b.csv -run-id nightly -cache-dir .ermatch/cache
 //	ermatch -a a.csv -b b.csv -run-id nightly -resume -cache-dir .ermatch/cache
 package main
@@ -59,6 +67,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the framework and simulator")
 	streamWindow := flag.Int("stream-window", 0,
 		"stream candidates to the matcher in windows of this many pairs (0 = block fully first)")
+	inFlight := flag.Int("in-flight", 0,
+		"pipeline up to this many stream windows concurrently (needs -stream-window; <= 1 = sequential)")
 	maxCandidates := flag.Int("max-candidates", 0,
 		"abort once blocking exceeds this many pairs (budget guard; 0 = no cap)")
 	runID := flag.String("run-id", "",
@@ -143,6 +153,7 @@ func main() {
 		MinSharedTokens: *minShared,
 		MaxCandidates:   *maxCandidates,
 		StreamWindow:    *streamWindow,
+		InFlightWindows: *inFlight,
 		Journal:         journal,
 		Matcher:         []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)},
 		// Rows stream out as each window's predictions land, so a huge
@@ -167,8 +178,14 @@ func main() {
 			// Replayed pairs came from the journal: already paid for in a
 			// previous attempt, answered here without an LLM call.
 			fresh := pr.Matched - pr.Replayed
-			fmt.Fprintf(os.Stderr, "\rermatch: %s %d | replayed %d + matched %d (%d windows) | api=$%.3f",
-				stage, pr.Blocked, pr.Replayed, fresh, pr.Windows, pr.APIUSD)
+			fmt.Fprintf(os.Stderr, "\rermatch: %s %d | replayed %d + matched %d (%d windows",
+				stage, pr.Blocked, pr.Replayed, fresh, pr.Windows)
+			if *inFlight > 1 {
+				// Two-stage view of the pipelined run: committed windows
+				// plus the ones still being prepared or answered.
+				fmt.Fprintf(os.Stderr, ", %d in flight", pr.InFlight)
+			}
+			fmt.Fprintf(os.Stderr, ") | api=$%.3f", pr.APIUSD)
 		},
 	}, client, tableA, tableB)
 	// The run is over; restore default SIGINT handling so a second

@@ -71,11 +71,18 @@ func main() {
 		Pool:       split.Train,
 		Matcher:    []Option{}, // defaults: diversity + covering
 		// Stream candidates to the matcher in windows of 64 pairs:
-		// blocking and LLM matching overlap, and at most one window is
-		// buffered between the stages.
+		// blocking and LLM matching overlap, and candidate memory stays
+		// bounded by the window.
 		StreamWindow: 64,
+		// Pipeline up to 4 windows concurrently: while one window's
+		// prompts are at the LLM, the next windows are already being
+		// blocked, feature-extracted, and batched. Results still commit
+		// in window order, so the output is identical to the sequential
+		// streaming run — only the wall clock changes.
+		InFlightWindows: 4,
 		Progress: func(p batcher.PipelineProgress) {
-			fmt.Printf("\rblocked %d candidates | matched %d in %d windows", p.Blocked, p.Matched, p.Windows)
+			fmt.Printf("\rblocked %d candidates | matched %d in %d windows (%d in flight)",
+				p.Blocked, p.Matched, p.Windows, p.InFlight)
 		},
 	}, client, tableA, tableB)
 	if err != nil {

@@ -5,7 +5,13 @@ import (
 	"math"
 
 	"batcher/internal/feature"
+	"batcher/internal/workpool"
 )
+
+// minParallelMatrix is the point count above which the agglomerative
+// distance matrix is built row-parallel. Package variable rather than
+// constant so tests can force both paths.
+var minParallelMatrix = 256
 
 // Linkage selects how inter-cluster distance is computed during
 // agglomerative merging.
@@ -37,17 +43,25 @@ func Agglomerative(points []feature.Vector, dist feature.Distance, linkage Linka
 		maxDist = math.Inf(1)
 	}
 	// Pairwise distance matrix: O(n^2) memory, fine for batch-prompting
-	// scale (thousands of questions).
+	// scale (thousands of questions). Above minParallelMatrix points the
+	// rows are filled in parallel; iteration i owns cells (i, j>i) and
+	// their mirrors (j>i, i), which no other iteration touches, so the
+	// matrix — and everything derived from it — is bit-identical to the
+	// serial build. dist must be safe for concurrent calls.
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	workers := 1
+	if n >= minParallelMatrix {
+		workers = workpool.Workers()
+	}
+	workpool.For(workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := dist(points[i], points[j])
 			d[i][j], d[j][i] = v, v
 		}
-	}
+	})
 	parent := make([]int, n)
 	size := make([]int, n)
 	for i := range parent {

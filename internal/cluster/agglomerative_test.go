@@ -67,6 +67,30 @@ func TestAgglomerativeDeterministic(t *testing.T) {
 	}
 }
 
+// TestAgglomerativeParallelMatchesSequential forces the row-parallel
+// distance-matrix build and checks every linkage produces the same
+// assignment as the serial build — the matrix is bit-identical, so the
+// merge sequence must be too.
+func TestAgglomerativeParallelMatchesSequential(t *testing.T) {
+	pts, _ := blobs(120, 24)
+	defer func(v int) { minParallelMatrix = v }(minParallelMatrix)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		minParallelMatrix = 1 << 30
+		seq := Agglomerative(pts, feature.Euclidean, linkage, 4, 0)
+		minParallelMatrix = 1
+		par := Agglomerative(pts, feature.Euclidean, linkage, 4, 0)
+		if par.K != seq.K {
+			t.Fatalf("linkage %d: parallel K = %d, sequential K = %d", linkage, par.K, seq.K)
+		}
+		for i := range seq.Assign {
+			if par.Assign[i] != seq.Assign[i] {
+				t.Fatalf("linkage %d, point %d: parallel cluster %d, sequential %d",
+					linkage, i, par.Assign[i], seq.Assign[i])
+			}
+		}
+	}
+}
+
 func TestSingleVsCompleteLinkageOnChain(t *testing.T) {
 	// A chain of points: single linkage merges the whole chain early;
 	// complete linkage resists, producing more balanced clusters at k=2.

@@ -13,7 +13,14 @@ import (
 	"sort"
 
 	"batcher/internal/feature"
+	"batcher/internal/workpool"
 )
+
+// minParallelDBSCAN is the point count above which DBSCAN fans its
+// region queries out across workpool workers. Below it the per-query
+// coordination costs more than the O(n) distance scan it would split.
+// Package variable rather than constant so tests can force both paths.
+var minParallelDBSCAN = 2048
 
 // Noise is the cluster ID DBSCAN assigns to points that belong to no
 // cluster.
@@ -55,6 +62,12 @@ func (r Result) Clusters() [][]int {
 // vectors. Neighbour lists are gathered into one reused scratch buffer —
 // the only steady allocations are the expansion queue's growth — so the
 // stage adds nothing per comparison on top of the dist function itself.
+// Above minParallelDBSCAN points each region query's j-scan is split
+// into index chunks across workpool workers and the per-chunk hits are
+// concatenated in chunk order, so the neighbour list is the same
+// ascending-index sequence the serial scan produces and the clustering
+// stays deterministic. dist must then be safe for concurrent calls
+// (every feature.Distance in this repo is pure).
 func DBSCAN(points []feature.Vector, dist feature.Distance, eps float64, minPts int) Result {
 	n := len(points)
 	assign := make([]int, n)
@@ -74,6 +87,32 @@ func DBSCAN(points []feature.Vector, dist feature.Distance, eps float64, minPts 
 		}
 		scratch = ns
 		return ns
+	}
+	if workers := workpool.Workers(); workers > 1 && n >= minParallelDBSCAN {
+		chunk := (n + workers - 1) / workers
+		bufs := make([][]int, workers)
+		neighbors = func(i int) []int {
+			workpool.For(workers, workers, func(c int) {
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				b := bufs[c][:0]
+				for j := lo; j < hi; j++ {
+					if dist(points[i], points[j]) <= eps {
+						b = append(b, j)
+					}
+				}
+				bufs[c] = b
+			})
+			ns := scratch[:0]
+			for _, b := range bufs {
+				ns = append(ns, b...)
+			}
+			scratch = ns
+			return ns
+		}
 	}
 	var queue []int
 	k := 0

@@ -71,6 +71,27 @@ func TestDBSCANDeterministic(t *testing.T) {
 	}
 }
 
+// TestDBSCANParallelMatchesSequential forces the chunked parallel
+// region-query path and checks it assigns every point exactly as the
+// serial scan does — the chunk-order concatenation must reproduce the
+// ascending-index neighbour lists bit for bit.
+func TestDBSCANParallelMatchesSequential(t *testing.T) {
+	pts, _ := blobs(800, 6)
+	defer func(v int) { minParallelDBSCAN = v }(minParallelDBSCAN)
+	minParallelDBSCAN = 1 << 30
+	seq := DBSCAN(pts, feature.Euclidean, 2.0, 3)
+	minParallelDBSCAN = 1
+	par := DBSCAN(pts, feature.Euclidean, 2.0, 3)
+	if par.K != seq.K {
+		t.Fatalf("parallel K = %d, sequential K = %d", par.K, seq.K)
+	}
+	for i := range seq.Assign {
+		if par.Assign[i] != seq.Assign[i] {
+			t.Fatalf("point %d: parallel cluster %d, sequential %d", i, par.Assign[i], seq.Assign[i])
+		}
+	}
+}
+
 func TestDBSCANMinPtsTooHigh(t *testing.T) {
 	pts, _ := blobs(9, 4)
 	res := DBSCAN(pts, feature.Euclidean, 2.0, 100)

@@ -7,7 +7,6 @@ import (
 
 	"batcher/internal/cost"
 	"batcher/internal/entity"
-	"batcher/internal/feature"
 	"batcher/internal/llm"
 	"batcher/internal/prompt"
 )
@@ -110,59 +109,17 @@ func (f *Framework) Resolve(ctx context.Context, questions, pool []entity.Pair) 
 // partition) surface as the returned error; mid-run failures surface on
 // Stream.Err after exhaustion. Cancelling ctx stops the run between LLM
 // calls and aborts in-flight HTTP requests on live clients.
+//
+// ResolveStream is Prepare followed immediately by Start. Callers that
+// want to overlap the CPU-bound front half of one resolution with the
+// LLM calls of another (the pipelined window executor) use the two
+// halves directly.
 func (f *Framework) ResolveStream(ctx context.Context, questions, pool []entity.Pair) (*Stream, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	st := &Stream{ch: make(chan BatchResult)}
-	if len(questions) == 0 {
-		st.cancel = func() {}
-		close(st.ch)
-		return st, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cfg := f.cfg
-	// Feature extraction runs on entity profiles computed once per
-	// record and shared between the question and pool sides. A pipeline
-	// producer that pre-built this window's profiles hands them down via
-	// feature.WithProfiles on ctx; otherwise a resolution-local cache is
-	// built here and dropped with the call.
-	ps := feature.ProfilesFrom(ctx)
-	if ps == nil {
-		ps = feature.NewProfiles(cfg.Extractor)
-	}
-	qVecs := feature.ExtractAllWith(ps, cfg.Extractor, questions)
-	dVecs := feature.ExtractAllWith(ps, cfg.Extractor, pool)
-
-	batches := makeBatches(cfg, qVecs)
-	if err := checkPartition(batches, len(questions)); err != nil {
-		return nil, err
-	}
-	sel := selectDemos(cfg, batches, qVecs, dVecs, pool)
-	model, err := llm.Lookup(cfg.Model)
+	p, err := f.Prepare(ctx, questions, pool)
 	if err != nil {
 		return nil, err
 	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	st.batches = batches
-	st.labeledPool = sel.labeled
-	st.cancel = cancel
-
-	// Never spawn more workers than batches: a small run under high
-	// parallelism would otherwise park idle goroutines on the jobs channel.
-	workers := cfg.Parallelism
-	if workers > len(batches) {
-		workers = len(batches)
-	}
-	if workers <= 1 {
-		go st.runSequential(runCtx, f, model, batches, sel, questions, pool)
-	} else {
-		go st.runParallel(runCtx, f, model, batches, sel, questions, pool, workers)
-	}
-	return st, nil
+	return p.Start(ctx), nil
 }
 
 // annotate reveals gold labels for the selected pool pairs, producing

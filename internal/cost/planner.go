@@ -1,6 +1,9 @@
 package cost
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Plan projects the monetary cost of an ER campaign before running it —
 // the calculation the paper's introduction walks through for the 500k-
@@ -63,6 +66,40 @@ func (p Plan) String() string {
 	return fmt.Sprintf("plan: %d questions in %d prompts, ~%d in / %d out tokens, api=$%.2f label=$%.2f total=$%.2f",
 		p.Questions, p.Prompts(), p.InputTokens(), p.OutputTokens(),
 		p.APIDollars(), p.LabelDollars(), p.TotalDollars())
+}
+
+// WallClock projects the LLM-bound wall-clock of the campaign under a
+// measured per-call latency and the pipeline's execution knobs:
+// parallelism batch prompts in flight per window, questions matched in
+// stream windows of streamWindow pairs (<= 0 collects everything into
+// one window), and inFlightWindows windows pipelined concurrently.
+// The projection counts only LLM latency — the CPU front half is
+// assumed to hide inside it, which is what pipelined execution
+// arranges — so it is a lower bound that tightens as latency grows.
+func (p Plan) WallClock(perCall time.Duration, parallelism, streamWindow, inFlightWindows int) time.Duration {
+	if p.Questions <= 0 || perCall <= 0 {
+		return 0
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	if streamWindow <= 0 || streamWindow > p.Questions {
+		streamWindow = p.Questions
+	}
+	if inFlightWindows <= 0 {
+		inFlightWindows = 1
+	}
+	b := p.BatchSize
+	if b <= 0 {
+		b = 1
+	}
+	// A window resolves its prompts in ceil(prompts/parallelism) serial
+	// rounds; windows themselves proceed in groups of inFlightWindows.
+	promptsPerWindow := (streamWindow + b - 1) / b
+	roundsPerWindow := (promptsPerWindow + parallelism - 1) / parallelism
+	windows := (p.Questions + streamWindow - 1) / streamWindow
+	turns := (windows + inFlightWindows - 1) / inFlightWindows
+	return time.Duration(turns*roundsPerWindow) * perCall
 }
 
 // CompareBatchSizes returns the projected total for each candidate batch

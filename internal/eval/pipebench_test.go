@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunPipelineBenchSmall runs a miniature sweep end to end and
+// checks the cells and the emitted BENCH document are well-formed.
+func TestRunPipelineBenchSmall(t *testing.T) {
+	o := PipelineBenchOptions{
+		Rows:        300,
+		Window:      64,
+		LatenciesMS: []int{1},
+		InFlight:    []int{1, 2},
+	}
+	cells, err := RunPipelineBench(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	base := cells[0]
+	if base.InFlight != 1 || base.Speedup != 1 {
+		t.Errorf("baseline cell = %+v, want inflight 1 speedup 1", base)
+	}
+	for _, c := range cells {
+		if c.Wall <= 0 || c.Candidates == 0 || c.Windows == 0 || c.Calls == 0 {
+			t.Errorf("cell %+v has empty workload fields", c)
+		}
+		// The determinism contract: every cell matched the same work.
+		if c.Candidates != base.Candidates || c.Windows != base.Windows || c.Calls != base.Calls {
+			t.Errorf("cell %+v workload differs from baseline %+v", c, base)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, PipelineBenchFile(o, cells)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description string                    `json:"description"`
+		Goos        string                    `json:"goos"`
+		CPU         string                    `json:"cpu"`
+		Date        string                    `json:"date"`
+		Results     map[string]map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted document is not valid JSON: %v", err)
+	}
+	if doc.Goos == "" || doc.CPU == "" || doc.Date == "" {
+		t.Errorf("environment header incomplete: %+v", doc)
+	}
+	if !strings.Contains(doc.Description, "erbench -exp pipeline -json") {
+		t.Error("description should say how to regenerate the file")
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("document has %d results, want 2", len(doc.Results))
+	}
+	rec, ok := doc.Results["PipelineRun/latency_1ms/inflight_2"]
+	if !ok {
+		t.Fatalf("missing expected result key; have %v", doc.Results)
+	}
+	if _, ok := rec["ns_per_op"]; !ok {
+		t.Error("record missing ns_per_op")
+	}
+}

@@ -2,12 +2,11 @@ package feature
 
 import (
 	"context"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"batcher/internal/entity"
 	"batcher/internal/profile"
+	"batcher/internal/workpool"
 )
 
 // ProfiledExtractor is the profile-aware fast path of an Extractor.
@@ -237,56 +236,24 @@ func ExtractAllWith(ps *Profiles, ex Extractor, pairs []entity.Pair) []Vector {
 	for i, p := range pairs {
 		ents[i].a, ents[i].b = ps.pair(p)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if len(pairs) < minParallelExtract || workers <= 1 {
-		for i, p := range pairs {
-			out[i] = pe.ExtractProfiled(p, ents[i].a, ents[i].b)
-		}
-		return out
+	workers := workpool.Workers()
+	if len(pairs) < minParallelExtract {
+		workers = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				out[i] = pe.ExtractProfiled(pairs[i], ents[i].a, ents[i].b)
-			}
-		}()
-	}
-	wg.Wait()
+	workpool.For(workers, len(pairs), func(i int) {
+		out[i] = pe.ExtractProfiled(pairs[i], ents[i].a, ents[i].b)
+	})
 	return out
 }
 
 // extractRange is the string path: per-pair Extract, parallel for large
 // batches (Extractor implementations are documented concurrent-safe).
 func extractRange(ex Extractor, pairs []entity.Pair, out []Vector) {
-	workers := runtime.GOMAXPROCS(0)
-	if len(pairs) < minParallelExtract || workers <= 1 {
-		for i, p := range pairs {
-			out[i] = ex.Extract(p)
-		}
-		return
+	workers := workpool.Workers()
+	if len(pairs) < minParallelExtract {
+		workers = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				out[i] = ex.Extract(pairs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	workpool.For(workers, len(pairs), func(i int) {
+		out[i] = ex.Extract(pairs[i])
+	})
 }

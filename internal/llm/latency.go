@@ -1,0 +1,36 @@
+package llm
+
+import (
+	"context"
+	"time"
+)
+
+// Latency wraps a Client with a fixed per-call delay, simulating the
+// round-trip time of a remote LLM endpoint. It exists for benchmarks
+// and tests that measure how execution strategies (batch parallelism,
+// window pipelining) overlap LLM latency with CPU work — the offline
+// simulator alone answers in microseconds, which hides exactly the
+// bubble those strategies close. Concurrent calls sleep independently,
+// as concurrent in-flight HTTP requests would.
+type Latency struct {
+	inner Client
+	d     time.Duration
+	sleep func(time.Duration) // test stub; nil uses a ctx-aware timer
+}
+
+// NewLatency returns a wrapper that delays every Complete by d before
+// forwarding to inner. d <= 0 forwards immediately.
+func NewLatency(inner Client, d time.Duration) *Latency {
+	return &Latency{inner: inner, d: d}
+}
+
+// Complete implements Client: it sleeps for the configured delay (or
+// until ctx is cancelled, whichever comes first), then forwards.
+func (l *Latency) Complete(ctx context.Context, req Request) (Response, error) {
+	if l.d > 0 {
+		if err := sleepCtx(ctx, l.d, l.sleep); err != nil {
+			return Response{}, err
+		}
+	}
+	return l.inner.Complete(ctx, req)
+}

@@ -1,0 +1,378 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/entity"
+	"batcher/internal/feature"
+	"batcher/internal/runstore"
+)
+
+// inflight is one window travelling through the pipelined executor. The
+// dispatcher fills the identity fields (idx, offset, pairs, keys) and
+// the journal decisions (verifyErr, replay); the runner goroutine fills
+// prepErr, stream, and results before closing prepped; the committer
+// reads everything after <-prepped. That close is the only
+// synchronization the struct needs.
+type inflight struct {
+	idx    int
+	offset int
+	pairs  []entity.Pair
+	// keys are the window's pair identities; nil without a journal.
+	keys []string
+	// verifyErr is a journal/stream mismatch detected at dispatch; the
+	// window is not run and the committer fails the run when it reaches
+	// it (in order, so earlier windows still commit first).
+	verifyErr error
+	// replay is the fully journaled window's reconstructed result; when
+	// non-nil the window is never prepared or executed.
+	replay *core.Result
+	// prepped is closed by the runner once prepErr, stream, and results
+	// are final.
+	prepped chan struct{}
+	prepErr error
+	stream  *core.Stream
+	// results is fully buffered (one slot per batch), so the runner
+	// always drains its stream to completion even if the committer
+	// abandons the run — no goroutine or LLM-call leak either way.
+	results chan core.BatchResult
+}
+
+// run executes the window off the committer's critical path: the
+// CPU-bound front half (Prepare: profile reuse, feature extraction,
+// batching, demonstration selection) and then the LLM calls, forwarding
+// each completed batch into the buffered results channel. Replayed and
+// mismatched windows do nothing — the committer handles them from the
+// journal state alone.
+func (w *inflight) run(ctx context.Context, f *core.Framework, pool []entity.Pair, profs *feature.Profiles) {
+	if w.verifyErr != nil || w.replay != nil {
+		close(w.prepped)
+		return
+	}
+	// Prepare runs to completion even when the run is being abandoned:
+	// salvage journals a WindowStart for every dispatched window, and
+	// window starts must stay contiguous or the windows behind this one
+	// could not record their completed (billed) batches. A cancelled run
+	// still stops promptly — the stream below checks ctx before its
+	// first LLM call — it just pays this window's CPU-only prep first.
+	prep, err := f.Prepare(feature.WithProfiles(context.WithoutCancel(ctx), profs), w.pairs, pool)
+	if err != nil {
+		w.prepErr = err
+		close(w.prepped)
+		return
+	}
+	stream := prep.Start(ctx)
+	w.stream = stream
+	w.results = make(chan core.BatchResult, len(prep.Batches()))
+	close(w.prepped)
+	for {
+		br, ok := stream.Next()
+		if !ok {
+			break
+		}
+		w.results <- br
+	}
+	close(w.results)
+}
+
+// runPipelined is the K-windows-in-flight executor selected by
+// Config.InFlightWindows > 1. Four roles share the work:
+//
+//   - The producer (goroutine) streams candidates from the blocker into
+//     StreamWindow-sized windows, warming entity profiles as pairs
+//     arrive — identical to runWindowed's producer.
+//   - The dispatcher (goroutine) admits at most K windows past a
+//     semaphore, decides replay-vs-run against the journal state loaded
+//     at open, spawns a runner per admitted window, and forwards the
+//     windows in order.
+//   - Each runner (goroutine per in-flight window) prepares its window
+//     (the CPU-bound front half) and executes its LLM calls, overlapping
+//     with every other in-flight window and with the producer.
+//   - The committer (this goroutine) applies windows strictly in window
+//     order: journal records, ledger folds, OnPair and Progress hooks
+//     all happen here, in exactly the sequence the sequential executor
+//     produces. Concurrency changes wall-clock time, not one byte of
+//     output.
+//
+// On failure the committer cancels the producer and runners, then
+// drains the remaining in-flight windows in order, journaling the
+// batches each completed (best effort) so a resume replays them instead
+// of re-billing. The partial report covers only windows up to and
+// including the failed one, mirroring runWindowed's partial contract.
+func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *core.Framework, tableA, tableB []entity.Record) (*Report, error) {
+	k := cfg.InFlightWindows
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+
+	windows := make(chan window) // unbuffered: direct handoff
+	errc := make(chan error, 1)  // producer's terminal error, at most one
+	var blocked atomic.Int64     // live count for concurrent progress
+	var blockingDone atomic.Bool
+	var buffered, peakBuf atomic.Int64 // pairs handed off but not yet committed
+	var inflightCount atomic.Int64
+	var blockingTime time.Duration
+	extractor := f.Config().Extractor
+	t0 := time.Now()
+	go func() {
+		defer close(windows)
+		buf := make([]entity.Pair, 0, cfg.StreamWindow)
+		profs := feature.NewProfiles(extractor)
+		flush := func() bool {
+			n := buffered.Add(int64(len(buf)))
+			for {
+				p := peakBuf.Load()
+				if n <= p || peakBuf.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			select {
+			case windows <- window{pairs: buf, profiles: profs}:
+				buf = make([]entity.Pair, 0, cfg.StreamWindow)
+				profs = feature.NewProfiles(extractor)
+				return true
+			case <-bctx.Done():
+				errc <- bctx.Err()
+				return false
+			}
+		}
+		for p, err := range blocking.Stream(bctx, blocker, tableA, tableB) {
+			if err != nil {
+				errc <- err
+				return
+			}
+			buf = append(buf, p)
+			profs.Warm(p)
+			n := blocked.Add(1)
+			if cfg.MaxCandidates > 0 && int(n) > cfg.MaxCandidates {
+				errc <- errCandidateCap(cfg.MaxCandidates)
+				return
+			}
+			if len(buf) == cfg.StreamWindow {
+				if !flush() {
+					return
+				}
+			}
+		}
+		blockingTime = time.Since(t0)
+		blockingDone.Store(true)
+		if len(buf) > 0 {
+			flush()
+		}
+	}()
+
+	var jstate *runstore.RunState
+	if cfg.Journal != nil {
+		jstate = cfg.Journal.State()
+	}
+
+	// The dispatcher admits windows K at a time and forwards them in
+	// order. `ordered` never blocks its sends: at most K windows hold the
+	// semaphore, and a window stays in the channel only until the
+	// committer receives it.
+	sem := make(chan struct{}, k)
+	ordered := make(chan *inflight, k)
+	go func() {
+		defer close(ordered)
+		wIdx, offset := 0, 0
+		for {
+			// Admit before receiving: a flushed window waits in the
+			// producer's send until a slot frees, so at most K windows sit
+			// past the handoff and peak buffering stays at (K+1) windows —
+			// the K admitted plus the one blocked flushing.
+			select {
+			case sem <- struct{}{}:
+			case <-rctx.Done():
+				for range windows { // abandoned: drain so the producer can exit
+				}
+				return
+			}
+			w, ok := <-windows
+			if !ok {
+				return
+			}
+			win := w.pairs
+			pool := cfg.Pool
+			if pool == nil {
+				pool = win
+			}
+			iw := &inflight{idx: wIdx, offset: offset, pairs: win, prepped: make(chan struct{})}
+			if cfg.Journal != nil {
+				iw.keys = pairKeys(win)
+				if err := verifyJournalWindow(jstate, wIdx, offset, iw.keys); err != nil {
+					iw.verifyErr = err
+				} else if res, ok := replayWindow(jstate, wIdx, len(win)); ok {
+					iw.replay = res
+				}
+			}
+			inflightCount.Add(1)
+			go iw.run(rctx, f, pool, w.profiles)
+			ordered <- iw
+			wIdx++
+			offset += len(win)
+		}
+	}()
+
+	rep := &Report{}
+	agg := &core.Result{}
+	var sharedLabeled map[int]bool
+	if cfg.Pool != nil {
+		sharedLabeled = make(map[int]bool)
+	}
+	progress(cfg, Progress{Blocked: int(blocked.Load())}) // setup snapshot
+
+	var m0 time.Time // commit-loop start; set before the first receive
+	fill := func() {
+		rep.Result = agg
+		rep.BlockingTime = blockingTime
+		rep.PeakBuffered = int(peakBuf.Load())
+	}
+	// abandon stops the producer and runners, salvages what the
+	// remaining in-flight windows already completed into the journal
+	// (in window order, best effort — a salvage append failure stops
+	// journaling, never the drain), and returns the partial report.
+	abandon := func(err error) (*Report, error) {
+		bcancel()
+		rcancel()
+		for iw := range ordered {
+			<-iw.prepped
+			if iw.results == nil {
+				// Replayed, mismatched, or genuinely unpreparable windows
+				// never ran and billed nothing. (Prep runs uncancelled, so
+				// an abandon by itself never lands a window here.)
+				continue
+			}
+			if cfg.Journal != nil && iw.verifyErr == nil {
+				werr := cfg.Journal.WindowStart(runstore.WindowStart{
+					Index:   iw.idx,
+					Offset:  iw.offset,
+					Size:    len(iw.pairs),
+					Labeled: iw.stream.LabeledPool(),
+				})
+				for br := range iw.results {
+					if werr != nil {
+						continue // keep draining un-journaled
+					}
+					werr = journalBatch(cfg.Journal, iw.idx, iw.keys, br)
+				}
+			}
+			for range iw.results { // drain whatever journaling left behind
+			}
+		}
+		// The drain above only ends after the producer and dispatcher
+		// exited, so the plain reads in fill are safe.
+		if rep.Candidates == 0 {
+			return nil, err
+		}
+		fill()
+		rep.MatchingTime = time.Since(m0)
+		return rep, err
+	}
+
+	commit := func(iw *inflight) {
+		buffered.Add(-int64(len(iw.pairs)))
+		inflightCount.Add(-1)
+		<-sem
+		rep.Windows++
+		progress(cfg, Progress{
+			Blocked:      int(blocked.Load()),
+			BlockingDone: blockingDone.Load(),
+			Matched:      rep.Candidates,
+			Replayed:     rep.Replayed,
+			Windows:      rep.Windows,
+			APIUSD:       agg.Ledger.API(),
+			InFlight:     int(inflightCount.Load()),
+		})
+	}
+
+	m0 = time.Now()
+	for iw := range ordered {
+		if iw.verifyErr != nil {
+			<-iw.prepped
+			return abandon(fmt.Errorf("pipeline: %w", iw.verifyErr))
+		}
+		if iw.replay != nil {
+			<-iw.prepped
+			rep.Replayed += len(iw.pairs)
+			foldWindow(agg, iw.replay, sharedLabeled)
+			emitPairs(cfg, rep, iw.pairs, iw.replay.Pred)
+			rep.Candidates += len(iw.pairs)
+			commit(iw)
+			continue
+		}
+		if cfg.Journal != nil {
+			// A started-but-unfinished window from a previous attempt:
+			// account its journaled spend once before the re-run's results
+			// (free cache hits with a persistent cache) fold in — the same
+			// numeric order the sequential executor uses.
+			mergePartialUsage(jstate, iw.idx, agg)
+		}
+		<-iw.prepped
+		if iw.prepErr != nil {
+			return abandon(fmt.Errorf("pipeline: matching: %w", iw.prepErr))
+		}
+		if cfg.Journal != nil {
+			err := cfg.Journal.WindowStart(runstore.WindowStart{
+				Index:   iw.idx,
+				Offset:  iw.offset,
+				Size:    len(iw.pairs),
+				Labeled: iw.stream.LabeledPool(),
+			})
+			if err != nil {
+				iw.stream.Close()
+				for range iw.results {
+				}
+				return abandon(fmt.Errorf("pipeline: matching: journal: %w", err))
+			}
+		}
+		var werr error
+		res := iw.stream.NewResult()
+		for br := range iw.results {
+			res.Apply(br)
+			if cfg.Journal != nil {
+				if err := journalBatch(cfg.Journal, iw.idx, iw.keys, br); err != nil {
+					iw.stream.Close()
+					for range iw.results {
+					}
+					werr = fmt.Errorf("journal: %w", err)
+					break
+				}
+			}
+		}
+		if werr == nil {
+			werr = iw.stream.Err()
+		}
+		// Fold in even a partially-answered window, so billed spend and
+		// answered predictions survive a mid-window failure.
+		foldWindow(agg, res, sharedLabeled)
+		emitPairs(cfg, rep, iw.pairs, res.Pred)
+		rep.Candidates += len(iw.pairs)
+		if werr != nil {
+			return abandon(fmt.Errorf("pipeline: matching: %w", werr))
+		}
+		commit(iw)
+	}
+	fill()
+	rep.MatchingTime = time.Since(m0)
+	select {
+	case err := <-errc:
+		err = fmt.Errorf("pipeline: blocking: %w", err)
+		if rep.Candidates == 0 {
+			return nil, err
+		}
+		return rep, err
+	default:
+	}
+	progress(cfg, Progress{
+		Blocked: rep.Candidates, BlockingDone: true,
+		Matched: rep.Candidates, Replayed: rep.Replayed,
+		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
+	})
+	return rep, nil
+}

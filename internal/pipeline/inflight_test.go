@@ -1,0 +1,298 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"batcher/internal/blocking"
+	"batcher/internal/core"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+	"batcher/internal/runstore"
+)
+
+// runCapture is everything the pipelined executor's determinism contract
+// covers: the report, the exact OnPair invocation sequence, and the
+// deterministic fields of every Progress snapshot (Blocked and InFlight
+// are timing-dependent by design and excluded).
+type runCapture struct {
+	rep     *Report
+	pairSeq []string
+	progSeq []string
+}
+
+func captureRun(t *testing.T, cfg Config, client llm.Client, ta, tb []entity.Record) runCapture {
+	t.Helper()
+	var c runCapture
+	cfg.OnPair = func(p entity.Pair, l entity.Label) {
+		c.pairSeq = append(c.pairSeq, fmt.Sprintf("%s=%d", p.Key(), l))
+	}
+	cfg.Progress = func(p Progress) {
+		c.progSeq = append(c.progSeq, fmt.Sprintf("m%d r%d w%d $%.12f", p.Matched, p.Replayed, p.Windows, p.APIUSD))
+	}
+	rep, err := Run(context.Background(), cfg, client, ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rep = rep
+	return c
+}
+
+// journalBytes concatenates a run directory's journal segments in
+// segment order — the byte-exact durable record of the run.
+func journalBytes(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, e := range entries { // ReadDir sorts by name = segment order
+		if !strings.HasPrefix(e.Name(), "journal-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(data)
+	}
+	return sb.String()
+}
+
+// TestRunPipelinedMatchesSequential is the tentpole property: for any
+// InFlightWindows K, the pipelined executor must produce byte-identical
+// outputs to the sequential windowed executor — predictions, matches,
+// ledger totals, OnPair sequence, deterministic Progress fields, and the
+// journal's exact bytes on disk. Concurrency may only change wall-clock
+// time.
+func TestRunPipelinedMatchesSequential(t *testing.T) {
+	d, err := datagen.GenerateByName("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := d.TableA[:90], d.TableB[:90]
+	oracle := llm.BuildOracle(d.Pairs)
+	variants := []struct {
+		name        string
+		sharedPool  bool
+		parallelism int
+	}{
+		{name: "self_pooled"},
+		{name: "shared_pool", sharedPool: true},
+		{name: "parallel_batches", parallelism: 3},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			newCfg := func(j *runstore.Journal) Config {
+				cfg := Config{
+					Blocker:      &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
+					Matcher:      core.Config{BatchSize: 4, Seed: 1, Parallelism: v.parallelism},
+					StreamWindow: 16,
+					Journal:      j,
+				}
+				if v.sharedPool {
+					cfg.Pool = entity.SplitPairs(d.Pairs).Train
+				}
+				return cfg
+			}
+			baseDir := filepath.Join(t.TempDir(), "run")
+			jb, err := runstore.OpenJournal(context.Background(), baseDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := captureRun(t, newCfg(jb), llm.NewSimulated(oracle, 1), ta, tb)
+			if err := jb.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if base.rep.Windows < 8 {
+				t.Fatalf("want a many-window run, got %d windows", base.rep.Windows)
+			}
+			baseBytes := journalBytes(t, baseDir)
+
+			// The journaled fingerprint includes the creation time, which
+			// Compatible ignores; stamping each pipelined run's journal with
+			// the baseline's meta before running makes the full journals
+			// byte-comparable.
+			jm, err := runstore.OpenJournal(context.Background(), baseDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta, ok := jm.State().Meta()
+			if !ok {
+				t.Fatal("baseline journal has no meta")
+			}
+			jm.Close()
+
+			for _, k := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+					dir := filepath.Join(t.TempDir(), "run")
+					pre, err := runstore.OpenJournal(context.Background(), dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := pre.WriteMeta(meta); err != nil {
+						t.Fatal(err)
+					}
+					if err := pre.Close(); err != nil {
+						t.Fatal(err)
+					}
+					j, err := runstore.OpenJournal(context.Background(), dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := newCfg(j)
+					cfg.InFlightWindows = k
+					got := captureRun(t, cfg, llm.NewSimulated(oracle, 1), ta, tb)
+					if err := j.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					predsEqual(t, "pipelined", got.rep.Result.Pred, base.rep.Result.Pred)
+					if len(got.rep.Matches) != len(base.rep.Matches) {
+						t.Errorf("matches = %d, want %d", len(got.rep.Matches), len(base.rep.Matches))
+					}
+					ledgerEqual(t, "pipelined", &got.rep.Result.Ledger, &base.rep.Result.Ledger)
+					if got.rep.Result.PromptTokens != base.rep.Result.PromptTokens {
+						t.Errorf("prompt tokens = %d, want %d", got.rep.Result.PromptTokens, base.rep.Result.PromptTokens)
+					}
+					if got.rep.Result.DemosLabeled != base.rep.Result.DemosLabeled {
+						t.Errorf("demos labeled = %d, want %d", got.rep.Result.DemosLabeled, base.rep.Result.DemosLabeled)
+					}
+					if got.rep.Candidates != base.rep.Candidates || got.rep.Windows != base.rep.Windows {
+						t.Errorf("candidates/windows = %d/%d, want %d/%d",
+							got.rep.Candidates, got.rep.Windows, base.rep.Candidates, base.rep.Windows)
+					}
+					if len(got.pairSeq) != len(base.pairSeq) {
+						t.Fatalf("OnPair fired %d times, want %d", len(got.pairSeq), len(base.pairSeq))
+					}
+					for i := range base.pairSeq {
+						if got.pairSeq[i] != base.pairSeq[i] {
+							t.Fatalf("OnPair[%d] = %s, want %s", i, got.pairSeq[i], base.pairSeq[i])
+						}
+					}
+					if len(got.progSeq) != len(base.progSeq) {
+						t.Fatalf("Progress fired %d times, want %d", len(got.progSeq), len(base.progSeq))
+					}
+					for i := range base.progSeq {
+						if got.progSeq[i] != base.progSeq[i] {
+							t.Fatalf("Progress[%d] = %s, want %s", i, got.progSeq[i], base.progSeq[i])
+						}
+					}
+					if gb := journalBytes(t, dir); gb != baseBytes {
+						t.Errorf("journal bytes differ from the sequential run (%d vs %d bytes)", len(gb), len(baseBytes))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRunPipelinedBoundedBuffer pins the memory bound: K windows in
+// flight may hold at most (K+1) windows' worth of candidates between the
+// stages (K admitted plus the one the producer is filling). The InFlight
+// progress field must stay within [0, K].
+func TestRunPipelinedBoundedBuffer(t *testing.T) {
+	const n = 4000
+	const window = 128
+	const k = 4
+	ta, tb := syntheticTables(n)
+	badInFlight := -1
+	rep, err := Run(context.Background(), Config{
+		Blocker:         &blocking.TokenBlocker{Attr: "title", MinShared: 2},
+		Matcher:         fastMatcher(),
+		StreamWindow:    window,
+		InFlightWindows: k,
+		Progress: func(p Progress) {
+			if p.InFlight < 0 || p.InFlight > k {
+				badInFlight = p.InFlight
+			}
+		},
+	}, llm.NewSimulated(nil, 1), ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates != n {
+		t.Fatalf("Candidates = %d, want %d", rep.Candidates, n)
+	}
+	if rep.PeakBuffered > (k+1)*window {
+		t.Fatalf("PeakBuffered = %d, exceeds (K+1)*window = %d", rep.PeakBuffered, (k+1)*window)
+	}
+	if badInFlight >= 0 {
+		t.Errorf("InFlight = %d outside [0, %d]", badInFlight, k)
+	}
+	if len(rep.Result.Pred) != n {
+		t.Errorf("aggregate Pred covers %d of %d candidates", len(rep.Result.Pred), n)
+	}
+}
+
+// TestRunPipelinedPartialReport mirrors the windowed partial-report
+// contract under K windows in flight: a cancellation mid-run must return
+// the committed prefix — predictions, billed spend, and OnPair coverage
+// all consistent.
+func TestRunPipelinedPartialReport(t *testing.T) {
+	ta, tb := syntheticTables(600)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var emitted int
+	rep, err := Run(ctx, Config{
+		Blocker:         &blocking.TokenBlocker{Attr: "title", MinShared: 2},
+		Matcher:         fastMatcher(),
+		StreamWindow:    50,
+		InFlightWindows: 3,
+		OnPair:          func(entity.Pair, entity.Label) { emitted++ },
+		Progress: func(p Progress) {
+			if p.Windows == 2 {
+				cancel()
+			}
+		},
+	}, llm.NewSimulated(nil, 1), ta, tb)
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if rep == nil {
+		t.Fatal("partial report discarded on mid-run failure")
+	}
+	if rep.Result.Ledger.Calls() == 0 {
+		t.Error("partial ledger lost the billed calls")
+	}
+	if rep.Candidates == 0 || rep.Candidates != len(rep.Result.Pred) {
+		t.Errorf("partial report has %d candidates, %d predictions", rep.Candidates, len(rep.Result.Pred))
+	}
+	if emitted != rep.Candidates {
+		t.Errorf("OnPair saw %d pairs, report has %d", emitted, rep.Candidates)
+	}
+}
+
+// BenchmarkPipelineInFlight measures the pipelining win under a small
+// simulated LLM latency: K=4 should overlap most of the per-window call
+// latency that K=1 pays serially. CI runs it with -benchtime=1x as a
+// race-enabled smoke; BENCH_pipeline.json carries the real sweep.
+func BenchmarkPipelineInFlight(b *testing.B) {
+	ta, tb := syntheticTables(512)
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("inflight_%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				client := llm.NewLatency(llm.NewSimulated(nil, 1), 2*time.Millisecond)
+				rep, err := Run(context.Background(), Config{
+					Blocker:         &blocking.TokenBlocker{Attr: "title", MinShared: 2},
+					Matcher:         fastMatcher(),
+					StreamWindow:    64,
+					InFlightWindows: k,
+				}, client, ta, tb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Candidates != 512 {
+					b.Fatalf("candidates = %d", rep.Candidates)
+				}
+			}
+		})
+	}
+}

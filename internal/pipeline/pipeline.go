@@ -65,6 +65,27 @@ type Config struct {
 	// so predictions may differ from an unwindowed run of the same
 	// configuration.
 	StreamWindow int
+	// InFlightWindows bounds how many windows may be executing at once
+	// when StreamWindow > 0. Values <= 1 keep the sequential windowed
+	// executor: one window matched at a time. With K > 1, up to K
+	// windows overlap — each window's CPU-bound front half (profile
+	// warming, feature extraction, batching, demonstration selection)
+	// runs concurrently with other windows' LLM calls — while a single
+	// ordered committer applies results strictly in window order, so
+	// predictions, hook invocations, ledger totals, and journal records
+	// are identical to an InFlightWindows == 1 run of the same
+	// configuration. Peak candidate memory grows to
+	// O((K+1)*StreamWindow).
+	//
+	// On a mid-run failure the committer drains the remaining in-flight
+	// windows and journals what they completed (in order), so with a
+	// persistent response cache and Matcher.Parallelism <= 1 every
+	// billed call of an interrupted run is journaled and a resume's
+	// ledger converges exactly as in sequential mode. Without a journal,
+	// spend from abandoned in-flight windows is not in the partial
+	// report's ledger — the same under-attribution core.Resolve
+	// documents for parallel batches. Ignored in collected mode.
+	InFlightWindows int
 	// Progress, if non-nil, receives stage updates. It is called from
 	// the goroutine consuming windows (never concurrently).
 	Progress func(Progress)
@@ -104,6 +125,12 @@ type Progress struct {
 	// APIUSD is the API spend so far, in dollars. Replayed windows
 	// contribute the spend their original run billed.
 	APIUSD float64
+	// InFlight is the number of windows currently executing (prepared
+	// or calling the LLM) beyond the one just committed. Always 0 for
+	// sequential executors; under InFlightWindows > 1 it is a
+	// timing-dependent snapshot, like Blocked, and is excluded from any
+	// determinism contract.
+	InFlight int
 }
 
 // Match is one output match.
@@ -166,6 +193,9 @@ func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []en
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	if cfg.StreamWindow > 0 {
+		if cfg.InFlightWindows > 1 {
+			return runPipelined(ctx, cfg, blocker, f, tableA, tableB)
+		}
 		return runWindowed(ctx, cfg, blocker, f, tableA, tableB)
 	}
 	return runCollected(ctx, cfg, blocker, f, tableA, tableB)
@@ -422,24 +452,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		if res != nil {
 			// Fold in even a partially-answered window, so billed spend
 			// and answered predictions survive a mid-window failure.
-			agg.Pred = append(agg.Pred, res.Pred...)
-			agg.PromptTokens += res.PromptTokens
-			agg.TrimmedDemos += res.TrimmedDemos
-			if sharedLabeled != nil {
-				agg.Ledger.MergeAPI(&res.Ledger)
-				fresh := 0
-				for _, di := range res.LabeledPool {
-					if !sharedLabeled[di] {
-						sharedLabeled[di] = true
-						fresh++
-					}
-				}
-				agg.Ledger.AddLabels(fresh)
-				agg.DemosLabeled += fresh
-			} else {
-				agg.Ledger.Merge(&res.Ledger)
-				agg.DemosLabeled += res.DemosLabeled
-			}
+			foldWindow(agg, res, sharedLabeled)
 			emitPairs(cfg, rep, win, res.Pred)
 			rep.Candidates += len(win)
 		}
@@ -475,6 +488,36 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
 	})
 	return rep, nil
+}
+
+// foldWindow folds one window's (possibly partial) result into the
+// run aggregate: predictions append in candidate order, token and trim
+// counters sum. With a shared pool (sharedLabeled non-nil) windows
+// annotate overlapping demonstrations, so each distinct pool pair is
+// billed once across the whole run, as an unwindowed resolution would;
+// self-pooled windows are disjoint and their label costs sum directly.
+// Both windowed executors commit through this one helper, which is what
+// keeps their aggregates — including the floating-point fold order of
+// dollar totals — identical.
+func foldWindow(agg, res *core.Result, sharedLabeled map[int]bool) {
+	agg.Pred = append(agg.Pred, res.Pred...)
+	agg.PromptTokens += res.PromptTokens
+	agg.TrimmedDemos += res.TrimmedDemos
+	if sharedLabeled != nil {
+		agg.Ledger.MergeAPI(&res.Ledger)
+		fresh := 0
+		for _, di := range res.LabeledPool {
+			if !sharedLabeled[di] {
+				sharedLabeled[di] = true
+				fresh++
+			}
+		}
+		agg.Ledger.AddLabels(fresh)
+		agg.DemosLabeled += fresh
+	} else {
+		agg.Ledger.Merge(&res.Ledger)
+		agg.DemosLabeled += res.DemosLabeled
+	}
 }
 
 func progress(cfg Config, p Progress) {

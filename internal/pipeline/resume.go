@@ -135,6 +135,28 @@ func mergePartialUsage(st *runstore.RunState, wIdx int, agg *core.Result) {
 	agg.PromptTokens += usage.InputTokens()
 }
 
+// journalBatch records one completed batch of window wIdx durably. keys
+// are the window's pair identities (pairKeys of the window), indexed by
+// the batch's window-local question numbers.
+func journalBatch(j *runstore.Journal, wIdx int, keys []string, br core.BatchResult) error {
+	bkeys := make([]string, len(br.Questions))
+	for i, qi := range br.Questions {
+		bkeys[i] = keys[qi]
+	}
+	return j.BatchDone(runstore.BatchDone{
+		Window:       wIdx,
+		Batch:        br.Index,
+		Questions:    br.Questions,
+		Keys:         bkeys,
+		Pred:         br.Pred,
+		Calls:        br.Ledger.Calls(),
+		InputTokens:  br.InputTokens,
+		OutputTokens: br.OutputTokens,
+		APIDollars:   br.Ledger.API(),
+		TrimmedDemos: br.TrimmedDemos,
+	})
+}
+
 // resolveJournaled matches one window, journaling each completed batch as
 // it lands. keys are the window's pair identities (pairKeys(win), which
 // the caller already computed for journal verification); they are nil
@@ -164,23 +186,7 @@ func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journa
 	res := stream.NewResult()
 	for br := range stream.All() {
 		res.Apply(br)
-		bkeys := make([]string, len(br.Questions))
-		for i, qi := range br.Questions {
-			bkeys[i] = keys[qi]
-		}
-		err := j.BatchDone(runstore.BatchDone{
-			Window:       wIdx,
-			Batch:        br.Index,
-			Questions:    br.Questions,
-			Keys:         bkeys,
-			Pred:         br.Pred,
-			Calls:        br.Ledger.Calls(),
-			InputTokens:  br.InputTokens,
-			OutputTokens: br.OutputTokens,
-			APIDollars:   br.Ledger.API(),
-			TrimmedDemos: br.TrimmedDemos,
-		})
-		if err != nil {
+		if err := journalBatch(j, wIdx, keys, br); err != nil {
 			stream.Close()
 			return res, fmt.Errorf("journal: %w", err)
 		}

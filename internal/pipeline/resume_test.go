@@ -100,6 +100,9 @@ func predsEqual(t *testing.T, tag string, got, want []entity.Label) {
 type resumeConfig struct {
 	streamWindow int
 	sharedPool   bool
+	// inFlight > 1 runs the pipelined executor with that many windows
+	// in flight; 0 keeps the sequential windowed (or collected) one.
+	inFlight int
 	// stride samples every stride-th crash boundary (always including
 	// the first and last); 1 tests every boundary.
 	stride int
@@ -119,10 +122,11 @@ func runResumeProperty(t *testing.T, rc resumeConfig) {
 	oracle := llm.BuildOracle(d.Pairs)
 	newCfg := func(j *runstore.Journal) Config {
 		cfg := Config{
-			Blocker:      &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
-			Matcher:      core.Config{BatchSize: 4, Seed: 1},
-			StreamWindow: rc.streamWindow,
-			Journal:      j,
+			Blocker:         &blocking.TokenBlocker{Attr: "beer_name", MinShared: 2},
+			Matcher:         core.Config{BatchSize: 4, Seed: 1},
+			StreamWindow:    rc.streamWindow,
+			InFlightWindows: rc.inFlight,
+			Journal:         j,
 		}
 		if rc.sharedPool {
 			cfg.Pool = entity.SplitPairs(d.Pairs).Train
@@ -231,6 +235,18 @@ func TestResumeBatchBoundariesWindowedSharedPool(t *testing.T) {
 
 func TestResumeBatchBoundariesCollected(t *testing.T) {
 	runResumeProperty(t, resumeConfig{streamWindow: 0, stride: 7})
+}
+
+// The pipelined executor must hold the same property with several
+// windows in flight at the crash: the committer salvages every batch the
+// abandoned windows completed into the journal, so with the persistent
+// cache attached a resume replays them and nothing is billed twice.
+func TestResumeEveryBatchBoundaryPipelined(t *testing.T) {
+	runResumeProperty(t, resumeConfig{streamWindow: 16, inFlight: 4})
+}
+
+func TestResumeBatchBoundariesPipelinedSharedPool(t *testing.T) {
+	runResumeProperty(t, resumeConfig{streamWindow: 16, sharedPool: true, inFlight: 3, stride: 7})
 }
 
 // TestResumeLargeRunArbitraryBoundary is the acceptance-scale check: a

@@ -21,6 +21,16 @@ import (
 // configuration into another.
 var ErrRunMismatch = errors.New("runstore: journal does not match this run")
 
+// ErrOutOfOrder reports an append that would break the journal's
+// ordered-commit invariant: window starts arrive in ascending index
+// order with no gaps, and a batch is only recorded for a window that
+// already started. The invariant is what makes a journal — whatever
+// concurrency produced the results — always a contiguous prefix of the
+// run, which is exactly what resume's replay-then-continue logic
+// assumes. The pipelined executor's ordered committer relies on the
+// storage layer enforcing it rather than promising it.
+var ErrOutOfOrder = errors.New("runstore: journal append out of window order")
+
 // RunMeta fingerprints a run's configuration and inputs. It is the first
 // record of every journal; on resume the current run's fingerprint must
 // be Compatible with the journaled one.
@@ -348,12 +358,17 @@ func (j *Journal) WriteMeta(m RunMeta) error {
 }
 
 // WindowStart journals a window's start (its layout and annotation
-// spend). Idempotent per window index.
+// spend). Idempotent per window index. Windows must start in ascending
+// index order with no gaps (counting windows loaded at open), or the
+// append fails with ErrOutOfOrder.
 func (j *Journal) WindowStart(w WindowStart) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.wseen[w.Index] {
 		return nil
+	}
+	if w.Index > 0 && !j.wseen[w.Index-1] {
+		return fmt.Errorf("%w: window %d started before window %d", ErrOutOfOrder, w.Index, w.Index-1)
 	}
 	j.wseen[w.Index] = true
 	return j.log.append(journalRecord{Window: &w})
@@ -361,13 +376,18 @@ func (j *Journal) WindowStart(w WindowStart) error {
 
 // BatchDone journals one completed batch. Idempotent per (window, batch):
 // replayed batches from a resumed partial window never overwrite the
-// original record carrying the real billed usage.
+// original record carrying the real billed usage. The batch's window
+// must have started (WindowStart), or the append fails with
+// ErrOutOfOrder.
 func (j *Journal) BatchDone(b BatchDone) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	k := batchKey{b.Window, b.Batch}
 	if j.seen[k] {
 		return nil
+	}
+	if !j.wseen[b.Window] {
+		return fmt.Errorf("%w: window %d batch %d recorded before the window started", ErrOutOfOrder, b.Window, b.Batch)
 	}
 	j.seen[k] = true
 	return j.log.append(journalRecord{Batch: &b})

@@ -3,6 +3,7 @@ package runstore
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -107,6 +108,7 @@ func TestJournalWindowCompleteAndPreds(t *testing.T) {
 func TestJournalFirstWriteWins(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := OpenJournal(context.Background(), dir)
+	j.WindowStart(WindowStart{Index: 0, Size: 1})
 	real := BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k"},
 		Pred: []entity.Label{entity.Match}, Calls: 1, InputTokens: 50, APIDollars: 0.05}
 	if err := j.BatchDone(real); err != nil {
@@ -136,6 +138,7 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
+	j.WindowStart(WindowStart{Index: 0, Size: 1})
 	j.BatchDone(BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k"},
 		Pred: []entity.Label{entity.Match}, Calls: 1})
 	j.Close()
@@ -171,6 +174,7 @@ func TestJournalSurvivesTornTailThenResume(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
+	j.WindowStart(WindowStart{Index: 0, Size: 2})
 	j.BatchDone(BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k0"},
 		Pred: []entity.Label{entity.Match}, Calls: 1})
 	j.Close()
@@ -203,6 +207,7 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	dir := t.TempDir()
 	j, _ := OpenJournal(context.Background(), dir)
 	j.WriteMeta(testMeta())
+	j.WindowStart(WindowStart{Index: 0, Size: 5})
 	for b := 0; b < 5; b++ {
 		j.BatchDone(BatchDone{Window: 0, Batch: b, Questions: []int{b}, Keys: []string{"k"},
 			Pred: []entity.Label{entity.Match}, Calls: 1})
@@ -240,6 +245,7 @@ func TestJournalSegmentRotation(t *testing.T) {
 
 	dir := t.TempDir()
 	j, _ := OpenJournal(context.Background(), dir)
+	j.WindowStart(WindowStart{Index: 0, Size: 20})
 	for b := 0; b < 20; b++ {
 		err := j.BatchDone(BatchDone{Window: 0, Batch: b, Questions: []int{b}, Keys: []string{"some-longer-pair-key"},
 			Pred: []entity.Label{entity.Match}, Calls: 1, InputTokens: 100})
@@ -256,6 +262,44 @@ func TestJournalSegmentRotation(t *testing.T) {
 	defer j2.Close()
 	if !j2.State().WindowComplete(0, 20) {
 		t.Error("records lost across segment rotation")
+	}
+}
+
+func TestJournalRejectsOutOfOrderAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(context.Background(), dir)
+	bd := BatchDone{Window: 0, Batch: 0, Questions: []int{0}, Keys: []string{"k"},
+		Pred: []entity.Label{entity.Match}, Calls: 1}
+	if err := j.BatchDone(bd); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("batch before window start: err = %v, want ErrOutOfOrder", err)
+	}
+	if err := j.WindowStart(WindowStart{Index: 1, Size: 1}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("window-start gap: err = %v, want ErrOutOfOrder", err)
+	}
+	if err := j.WindowStart(WindowStart{Index: 0, Size: 1}); err != nil {
+		t.Fatalf("in-order start rejected: %v", err)
+	}
+	if err := j.BatchDone(bd); err != nil {
+		t.Fatalf("in-order batch rejected: %v", err)
+	}
+	if err := j.WindowStart(WindowStart{Index: 1, Size: 1}); err != nil {
+		t.Fatalf("next window rejected: %v", err)
+	}
+	j.Close()
+
+	// The invariant counts windows loaded at open: a resume may continue
+	// from the journaled frontier but still not skip ahead.
+	j2, _ := OpenJournal(context.Background(), dir)
+	defer j2.Close()
+	if err := j2.WindowStart(WindowStart{Index: 3, Size: 1}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("gap after reopen: err = %v, want ErrOutOfOrder", err)
+	}
+	if err := j2.WindowStart(WindowStart{Index: 2, Size: 1}); err != nil {
+		t.Errorf("contiguous start after reopen rejected: %v", err)
+	}
+	if err := j2.BatchDone(BatchDone{Window: 2, Batch: 0, Questions: []int{0}, Keys: []string{"k2"},
+		Pred: []entity.Label{entity.Match}, Calls: 1}); err != nil {
+		t.Errorf("batch for reopened frontier rejected: %v", err)
 	}
 }
 

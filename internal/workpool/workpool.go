@@ -1,0 +1,57 @@
+// Package workpool is the one bounded fan-out primitive shared by the
+// CPU-hot paths: feature extraction, clustering, and the pipelined
+// window executor all parallelize through For instead of growing their
+// own goroutine loops. Keeping a single primitive keeps the determinism
+// argument single too — For guarantees nothing about execution order,
+// so a caller is deterministic exactly when fn(i) writes only to its
+// own slot i of a pre-sized output.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), fanning out across up to
+// workers goroutines. Indices are claimed dynamically (an atomic
+// counter), so uneven per-index cost balances itself. For returns after
+// every call completed.
+//
+// workers <= 1 or n == 1 runs inline on the calling goroutine with no
+// synchronization, so small inputs pay nothing for the parallel shape.
+// fn must be safe to call concurrently; output is deterministic when
+// fn(i) writes only to position i of pre-allocated storage.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Workers is the default fan-out width: the runtime's usable CPU count.
+func Workers() int { return runtime.GOMAXPROCS(0) }

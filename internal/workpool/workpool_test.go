@@ -1,0 +1,48 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			counts := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSlotWritesAreDeterministic(t *testing.T) {
+	n := 513
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for run := 0; run < 10; run++ {
+		out := make([]int, n)
+		For(8, n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("run %d: out[%d] = %d, want %d", run, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForInlineWhenSingleWorker(t *testing.T) {
+	// workers<=1 must run on the calling goroutine in index order.
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v", order)
+		}
+	}
+}
