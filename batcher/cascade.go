@@ -1,0 +1,71 @@
+package batcher
+
+import (
+	"time"
+
+	"batcher/internal/cascade"
+	"batcher/internal/core"
+	"batcher/internal/cost"
+	"batcher/internal/llm"
+)
+
+// CascadePrefilter is a calibrated similarity pre-filter: trained on
+// labeled pairs, it scores each candidate's match probability and routes
+// pairs below tau-lo to Auto-No, above tau-hi to Auto-Yes, and the
+// ambiguous band in between to the LLM. Pass one in
+// PipelineConfig.Prefilter to spend the LLM budget only on hard pairs.
+type CascadePrefilter = cascade.Prefilter
+
+// CascadeConfig tunes pre-filter training: routing thresholds, the
+// calibration method, and the training seed. The zero value uses the
+// defaults (tau 0.05/0.95, Platt scaling).
+type CascadeConfig = cascade.Config
+
+// TierUsage is one tier's share of a cost ledger's API spend, as
+// returned by Ledger.TierBreakdown on cascade runs.
+type TierUsage = cost.TierUsage
+
+// TrainCascadePrefilter fits the calibrated pre-filter on labeled pairs
+// (both classes must be present). Labels cost money in practice — bill
+// them at LabelCostPerPair when comparing cascade totals to a flat run.
+func TrainCascadePrefilter(labeled []Pair, cfg CascadeConfig) (*CascadePrefilter, error) {
+	return cascade.Train(labeled, cfg)
+}
+
+// BootstrapLabels derives training labels for the pre-filter from
+// structural similarity alone, for the unsupervised setting where no
+// labeled pairs exist. Only confidently similar and dissimilar pairs are
+// kept, so the returned slice is smaller than the input.
+func BootstrapLabels(pairs []Pair) []Pair {
+	return cascade.BootstrapLabels(pairs)
+}
+
+// WithCheapModel enables tiered matching inside the batch matcher: the
+// ambiguous band is first answered by this cheaper model, and a batch
+// escalates to the main (expensive) model only when its vote-k margin
+// falls below the escalation margin or the cheap model answers Unknown.
+func WithCheapModel(name string) Option { return core.WithCheapModel(name) }
+
+// WithEscalateMargin sets the vote-k margin below which a cheap-tier
+// batch escalates to the expensive model (default 0: escalate only on
+// Unknown answers).
+func WithEscalateMargin(m float64) Option { return core.WithEscalateMargin(m) }
+
+// NewTieredClient routes each request to the cheap or expensive backend
+// by its tier, for cascades whose tiers live on different endpoints.
+// When both tiers share one endpoint, passing that client directly works
+// too — the request's model name already differs per tier.
+func NewTieredClient(cheap, expensive Client) Client {
+	return llm.NewTiered(cheap, expensive)
+}
+
+// NewLatencyClient adds a fixed per-call delay to a client, for
+// simulating a remote backend's latency in planning experiments.
+func NewLatencyClient(inner Client, d time.Duration) Client {
+	return llm.NewLatency(inner, d)
+}
+
+// LabelCostPerPair is the assumed dollar cost of one human-annotated
+// pair, used by the ledger's labeling column and by cascade accounting
+// for pre-filter training labels.
+const LabelCostPerPair = cost.LabelPerPair

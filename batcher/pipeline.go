@@ -55,6 +55,14 @@ type PipelineConfig struct {
 	// prediction, in candidate order, as predictions become available.
 	// Use it to sink results incrementally without buffering every pair.
 	OnPair func(Pair, Label)
+	// Prefilter, if non-nil, routes candidates before any LLM spend:
+	// pairs the calibrated pre-filter scores outside its ambiguous band
+	// are auto-resolved for free (Report.AutoResolved counts them), and
+	// only the ambiguous band reaches the matcher. Train one with
+	// TrainCascadePrefilter; combine with WithCheapModel for the full
+	// model cascade. Journaled runs stamp the pre-filter's fingerprint,
+	// so resuming with different routing fails with ErrRunMismatch.
+	Prefilter *CascadePrefilter
 	// Journal, if non-nil, makes the run durable and resumable: every
 	// completed batch is recorded as it lands, and a later run over the
 	// same journal replays what was already answered instead of
@@ -101,6 +109,7 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA,
 		MaxCandidates:   cfg.MaxCandidates,
 		StreamWindow:    cfg.StreamWindow,
 		InFlightWindows: cfg.InFlightWindows,
+		Prefilter:       cfg.Prefilter,
 		Progress:        cfg.Progress,
 		OnPair:          cfg.OnPair,
 		Journal:         cfg.Journal,

@@ -196,3 +196,75 @@ func TestClientWrappersConstruct(t *testing.T) {
 		t.Error("retrying nil")
 	}
 }
+
+func TestRunPipelineCascade(t *testing.T) {
+	ds, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitPairs(ds.Pairs)
+	pf, err := TrainCascadePrefilter(split.Train, CascadeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTieredClient(NewSimulatedClient(ds.Pairs, 1), NewSimulatedClient(ds.Pairs, 2))
+	rep, err := RunPipeline(context.Background(), PipelineConfig{
+		BlockAttr:       "beer_name",
+		MinSharedTokens: 2,
+		Pool:            split.Train,
+		Prefilter:       pf,
+		Matcher: []Option{
+			WithSeed(1),
+			WithModel(GPT4),
+			WithCheapModel(GPT35Turbo0301),
+		},
+	}, tiered, ds.TableA[:100], ds.TableB[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AutoResolved == 0 {
+		t.Error("pre-filter auto-resolved nothing")
+	}
+	if rep.AutoResolved >= rep.Candidates {
+		t.Errorf("auto-resolved %d of %d candidates; the ambiguous band is empty", rep.AutoResolved, rep.Candidates)
+	}
+	tiers := rep.Result.Ledger.TierBreakdown()
+	if len(tiers) == 0 {
+		t.Fatal("cascade run recorded no tier buckets")
+	}
+	var tierUSD float64
+	for _, b := range tiers {
+		tierUSD += b.Dollars
+	}
+	if api := rep.Result.Ledger.API(); tierUSD != api {
+		t.Errorf("tier buckets sum to $%v, ledger api $%v", tierUSD, api)
+	}
+}
+
+func TestBootstrapLabelsPublic(t *testing.T) {
+	ds, err := LoadBenchmark("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := BootstrapLabels(WithoutLabels(ds.Pairs[:60]))
+	if len(labeled) != 60 {
+		t.Fatalf("got %d pairs, want 60", len(labeled))
+	}
+	var match, non int
+	for _, p := range labeled {
+		switch p.Truth {
+		case Match:
+			match++
+		case NonMatch:
+			non++
+		default:
+			t.Fatalf("pair %s still unlabeled", p.Key())
+		}
+	}
+	if match == 0 || non == 0 {
+		t.Errorf("bootstrap labels one-sided: %d match / %d non-match", match, non)
+	}
+	if _, err := TrainCascadePrefilter(labeled, CascadeConfig{}); err != nil {
+		t.Errorf("training on bootstrap labels: %v", err)
+	}
+}

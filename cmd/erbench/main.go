@@ -7,6 +7,8 @@
 //	        [-datasets WA,AB,...] [-seeds 1,2,3] [-qcap N] [-poolcap N]
 //	erbench -exp pipeline [-json] [-rows N] [-window N]
 //	        [-latencies 50,200,800] [-inflight 1,2,4,8]
+//	erbench -exp cascade [-json] [-rows N] [-window N] [-trainpairs N]
+//	        [-taus 0.05:0.95,0.1:0.9] [-margins 0,0.25]
 //
 // With no flags it runs every experiment on all eight datasets with three
 // seeds, printing each table in the paper's layout.
@@ -17,6 +19,13 @@
 // per-cell records) — this is how BENCH_pipeline.json is generated:
 //
 //	erbench -exp pipeline -json > BENCH_pipeline.json
+//
+// -exp cascade (not part of "all") sweeps the model cascade's cost/F1
+// frontier: an all-expensive baseline, then one run per (tau-lo:tau-hi)
+// routing band x escalation margin with the calibrated pre-filter and
+// tiered routing in play. BENCH_cascade.json is generated the same way:
+//
+//	erbench -exp cascade -json > BENCH_cascade.json
 package main
 
 import (
@@ -30,17 +39,33 @@ import (
 	"batcher/internal/eval"
 )
 
+// splitList splits a comma-separated flag value, trimming whitespace;
+// empty input means "use defaults" and yields nil.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	fields := strings.Split(s, ",")
+	for i, f := range fields {
+		fields[i] = strings.TrimSpace(f)
+	}
+	return fields
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table3, table4, table5, table6, table7, fig6, fig7, ablations, findings, pipeline")
 	datasets := flag.String("datasets", "", "comma-separated dataset codes (default all)")
 	seeds := flag.String("seeds", "1,2,3", "comma-separated run seeds")
 	qcap := flag.Int("qcap", 0, "cap on test questions per dataset (0 = all)")
 	poolcap := flag.Int("poolcap", 0, "cap on demonstration pool size (0 = all)")
-	jsonOut := flag.Bool("json", false, "emit a BENCH_*-style JSON document to stdout (pipeline experiment only)")
-	rows := flag.Int("rows", 0, "pipeline sweep: records per table (0 = default 8000)")
-	window := flag.Int("window", 0, "pipeline sweep: StreamWindow (0 = default 512)")
+	jsonOut := flag.Bool("json", false, "emit a BENCH_*-style JSON document to stdout (pipeline and cascade experiments only)")
+	rows := flag.Int("rows", 0, "pipeline/cascade sweep: records per table (0 = default 8000)")
+	window := flag.Int("window", 0, "pipeline/cascade sweep: StreamWindow (0 = default 512)")
 	latencies := flag.String("latencies", "", "pipeline sweep: simulated LLM latencies in ms (default 50,200,800)")
 	inflight := flag.String("inflight", "", "pipeline sweep: InFlightWindows values (default 1,2,4,8)")
+	trainpairs := flag.Int("trainpairs", 0, "cascade sweep: labeled pairs for pre-filter training (0 = default 500)")
+	taus := flag.String("taus", "", "cascade sweep: lo:hi routing thresholds (default 0.05:0.95,0.1:0.9,0.2:0.8)")
+	margins := flag.String("margins", "", "cascade sweep: vote-k escalation margins (default 0,0.01,0.25)")
 	flag.Parse()
 
 	ints := func(name, s string) []int {
@@ -83,8 +108,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[pipeline done in %v]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if *exp == "cascade" {
+		co := eval.CascadeBenchOptions{
+			Rows:       *rows,
+			Window:     *window,
+			TrainPairs: *trainpairs,
+		}
+		for _, f := range splitList(*taus) {
+			lo, hi, ok := strings.Cut(f, ":")
+			tlo, err1 := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+			thi, err2 := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+			if !ok || err1 != nil || err2 != nil {
+				fmt.Fprintf(os.Stderr, "erbench: bad tau point %q, want lo:hi\n", f)
+				os.Exit(2)
+			}
+			co.Taus = append(co.Taus, eval.TauPoint{Lo: tlo, Hi: thi})
+		}
+		for _, f := range splitList(*margins) {
+			m, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: bad margin %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			co.Margins = append(co.Margins, m)
+		}
+		start := time.Now()
+		res, err := eval.RunCascadeBench(co, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: cascade: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := eval.WriteBenchJSON(os.Stdout, eval.CascadeBenchFile(co, res)); err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: cascade: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			eval.FormatCascadeBench(os.Stdout, res)
+		}
+		fmt.Fprintf(os.Stderr, "[cascade done in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *jsonOut {
-		fmt.Fprintln(os.Stderr, "erbench: -json is only supported with -exp pipeline")
+		fmt.Fprintln(os.Stderr, "erbench: -json is only supported with -exp pipeline or -exp cascade")
 		os.Exit(2)
 	}
 

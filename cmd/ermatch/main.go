@@ -34,9 +34,18 @@
 // resumes free, and so separate experiments over the same data share
 // answers.
 //
+// With -cascade, a calibrated pre-filter is trained on a bootstrap-
+// labeled sample of the candidates before matching: pairs it scores
+// below -tau-lo or above -tau-hi are auto-resolved for free, and only
+// the ambiguous band reaches the LLM — first the -cheap-model tier,
+// escalating to -model when a batch's vote margin falls under
+// -escalate-margin or the cheap tier answers Unknown. The final ledger
+// then reports spend per tier.
+//
 // Usage:
 //
 //	ermatch -a tableA.csv -b tableB.csv -attr title -out matches.csv
+//	ermatch -a a.csv -b b.csv -attr title -cascade -tau-lo 0.05 -tau-hi 0.95
 //	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512
 //	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512 -in-flight 4
 //	ermatch -a a.csv -b b.csv -run-id nightly -cache-dir .ermatch/cache
@@ -80,6 +89,14 @@ func main() {
 		"persistent response cache directory, shareable across runs (empty = no disk cache)")
 	cacheMB := flag.Int64("cache-mb", 0,
 		"disk cache size bound in MiB (0 = 256 MiB default)")
+	cascadeOn := flag.Bool("cascade", false,
+		"route candidates through a calibrated pre-filter and tiered models, spending the LLM budget only on hard pairs")
+	tauLo := flag.Float64("tau-lo", 0.05, "cascade: auto-resolve as non-match below this calibrated probability")
+	tauHi := flag.Float64("tau-hi", 0.95, "cascade: auto-resolve as match above this calibrated probability")
+	cheapModel := flag.String("cheap-model", batcher.GPT35Turbo0301,
+		"cascade: cheap-tier model for the ambiguous band (empty = pre-filter only, no tiering)")
+	escalateMargin := flag.Float64("escalate-margin", 0,
+		"cascade: escalate a cheap-tier batch to -model when its vote-k margin is below this")
 	flag.Parse()
 
 	if *pathA == "" || *pathB == "" {
@@ -122,6 +139,39 @@ func main() {
 		defer cache.Close()
 		client = cache
 	}
+	var prefilter *batcher.CascadePrefilter
+	matcher := []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)}
+	if *cascadeOn {
+		// Train the calibrated pre-filter on a bootstrap-labeled sample
+		// of the candidate stream: no gold labels are needed, and the
+		// sample is capped so training stays negligible next to matching.
+		const trainCap = 4000
+		var sample []batcher.Pair
+		for p, err := range batcher.BlockTablesStream(ctx, tableA, tableB, *attr, *minShared) {
+			if err != nil {
+				fatal(fmt.Errorf("sampling candidates for cascade training: %w", err))
+			}
+			sample = append(sample, p)
+			if len(sample) >= trainCap {
+				break
+			}
+		}
+		pf, err := batcher.TrainCascadePrefilter(
+			batcher.BootstrapLabels(sample),
+			batcher.CascadeConfig{TauLo: *tauLo, TauHi: *tauHi, Seed: *seed})
+		if err != nil {
+			fatal(fmt.Errorf("training cascade pre-filter: %w", err))
+		}
+		prefilter = pf
+		if *cheapModel != "" && *cheapModel != *model {
+			matcher = append(matcher,
+				batcher.WithCheapModel(*cheapModel),
+				batcher.WithEscalateMargin(*escalateMargin))
+		}
+		fmt.Fprintf(os.Stderr, "ermatch: cascade pre-filter trained on %d bootstrap-labeled pairs (tau %.2f/%.2f)\n",
+			len(sample), *tauLo, *tauHi)
+	}
+
 	var journal *batcher.RunJournal
 	if *runID != "" {
 		var err error
@@ -155,7 +205,8 @@ func main() {
 		StreamWindow:    *streamWindow,
 		InFlightWindows: *inFlight,
 		Journal:         journal,
-		Matcher:         []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)},
+		Prefilter:       prefilter,
+		Matcher:         matcher,
 		// Rows stream out as each window's predictions land, so a huge
 		// candidate set never has to fit in memory for output either.
 		OnPair: func(p batcher.Pair, label batcher.Label) {
@@ -232,6 +283,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %s\n", rep.Result.Ledger.String())
+	if rep.AutoResolved > 0 {
+		fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates auto-resolved by the cascade pre-filter (no LLM cost)\n",
+			rep.AutoResolved, rep.Candidates)
+	}
 	if rep.Replayed > 0 {
 		fmt.Fprintf(os.Stderr, "ermatch: %d of %d pairs replayed from run journal %q\n",
 			rep.Replayed, rep.Candidates, *runID)

@@ -1,0 +1,95 @@
+// Cascade: spend the LLM budget only where the pairs are hard. A
+// calibrated pre-filter auto-resolves the easy candidates for free, the
+// ambiguous band goes to a cheap model tier, and only low-confidence
+// batches escalate to the expensive model. The same workload is first
+// run all-expensive so the ledgers can be compared side by side.
+//
+// The two tiers here are separate simulated backends joined with
+// NewTieredClient — the shape a real deployment has when the cheap and
+// expensive models live on different endpoints.
+//
+// Run with:
+//
+//	go run ./examples/cascade
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"batcher/batcher"
+)
+
+func main() {
+	ctx := context.Background()
+	ds, err := batcher.LoadBenchmark("FZ", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := batcher.SplitPairs(ds.Pairs)
+
+	// Baseline: every blocked candidate answered by the expensive model.
+	expensive := batcher.NewSimulatedClient(ds.Pairs, 1)
+	base, err := batcher.RunPipeline(ctx, batcher.PipelineConfig{
+		BlockAttr:    "name",
+		StreamWindow: 256,
+		Matcher:      []batcher.Option{batcher.WithModel(batcher.GPT4)},
+	}, expensive, ds.TableA, ds.TableB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-expensive baseline: %s\n", base.Result.Ledger.String())
+
+	// The cascade needs a trained router: a logistic scorer with
+	// calibrated probabilities, fit on labeled pairs. Thresholds 0.05
+	// and 0.95 auto-resolve everything the router is sure about.
+	prefilter, err := batcher.TrainCascadePrefilter(split.Train, batcher.CascadeConfig{
+		TauLo: 0.05,
+		TauHi: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two backends, one per tier. Each request carries its tier, so the
+	// router sends cheap-tier prompts to the first backend and
+	// escalations to the second.
+	cheap := batcher.NewSimulatedClient(ds.Pairs, 2)
+	tiered := batcher.NewTieredClient(cheap, expensive)
+
+	rep, err := batcher.RunPipeline(ctx, batcher.PipelineConfig{
+		BlockAttr: "name",
+		Prefilter: prefilter,
+		// Windowed streaming keeps demonstration pools local to each
+		// window, so batches have meaningful vote-k margins for the
+		// escalation decision (a fully collected run annotates densely
+		// and every margin sits near zero).
+		StreamWindow: 256,
+		Matcher: []batcher.Option{
+			batcher.WithModel(batcher.GPT4),
+			batcher.WithCheapModel(batcher.GPT35Turbo0301),
+			// Escalate a cheap-tier batch when its vote-k margin drops
+			// under this — the cheap model keeps the confident batches,
+			// the expensive model gets the contested ones. Margins are
+			// small in absolute terms on densely annotated windows, so
+			// useful thresholds are small too; sweep them for a real
+			// workload with: erbench -exp cascade -margins ...
+			batcher.WithEscalateMargin(0.01),
+		},
+	}, tiered, ds.TableA, ds.TableB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cascade run:            %s\n", rep.Result.Ledger.String())
+	fmt.Printf("\n%d of %d candidates auto-resolved by the pre-filter (no LLM call on either tier)\n",
+		rep.AutoResolved, rep.Candidates)
+	for _, tier := range rep.Result.Ledger.TierBreakdown() {
+		fmt.Printf("  %-9s tier: %3d calls, %6d tokens in / %5d out, $%.4f\n",
+			tier.Tier, tier.Calls, tier.InputTokens, tier.OutputTokens, tier.Dollars)
+	}
+	fmt.Printf("\nAPI spend: $%.4f all-expensive vs $%.4f cascade (%.1fx cheaper)\n",
+		base.Result.Ledger.API(), rep.Result.Ledger.API(),
+		base.Result.Ledger.API()/rep.Result.Ledger.API())
+}

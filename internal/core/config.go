@@ -136,6 +136,16 @@ type Config struct {
 	// paper's free-text format — an extension matching modern
 	// structured-output APIs. Answer parsing accepts both regardless.
 	JSONAnswers bool
+	// CheapModel enables cascade matching when non-empty: each batch is
+	// first answered by this (cheaper) registry model and only escalated
+	// to Model — the expensive tier — when uncertainty fires: the batch's
+	// vote-k margin falls below EscalateMargin, or the cheap answer
+	// contains Unknowns. The client must route tiers, e.g. llm.NewTiered.
+	CheapModel string
+	// EscalateMargin is the vote-k margin below which a cascade batch
+	// skips the cheap tier and goes straight to Model. 0 escalates only on
+	// Unknown answers. Ignored unless CheapModel is set.
+	EscalateMargin float64
 }
 
 // applyDefaults fills unset fields with the paper's defaults.

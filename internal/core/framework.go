@@ -58,11 +58,16 @@ type Result struct {
 	PromptTokens int
 	// TrimmedDemos counts demonstrations dropped to fit context windows.
 	TrimmedDemos int
+	// BatchMargins records each batch's vote-k disagreement margin,
+	// aligned with Batches. Populated as batches complete (entries for
+	// batches that never completed stay 0); nil on aggregated results
+	// whose batches span several streams.
+	BatchMargins []float64
 }
 
 // Apply folds one completed batch into the result: predictions, API
-// cost, token and trim counters. Pair it with Stream.NewResult to
-// accumulate a streaming run incrementally.
+// cost, token and trim counters, and the batch's vote margin. Pair it
+// with Stream.NewResult to accumulate a streaming run incrementally.
 func (r *Result) Apply(br BatchResult) {
 	for i, qi := range br.Questions {
 		r.Pred[qi] = br.Pred[i]
@@ -70,6 +75,9 @@ func (r *Result) Apply(br BatchResult) {
 	r.Ledger.Merge(&br.Ledger)
 	r.PromptTokens += br.InputTokens
 	r.TrimmedDemos += br.TrimmedDemos
+	if br.Index >= 0 && br.Index < len(r.BatchMargins) {
+		r.BatchMargins[br.Index] = br.VoteMargin
+	}
 }
 
 // Resolve answers every question using batch prompting over the unlabeled
@@ -143,8 +151,9 @@ func (f *Framework) annotate(pool []entity.Pair, ids []int) []prompt.Demo {
 // tail until the prompt fits the model's context window. This is the
 // mitigation for the input-length overrun risk Section IV-C attributes to
 // topk-question selection. It returns the response and how many demos
-// were dropped.
-func (f *Framework) callWithTrim(ctx context.Context, model llm.Model, demos []prompt.Demo, qs []entity.Pair) (llm.Response, int, error) {
+// were dropped. tier stamps the request for tier routing (llm.NewTiered)
+// and cache identity; single-model runs pass llm.TierDefault.
+func (f *Framework) callWithTrim(ctx context.Context, model llm.Model, tier llm.Tier, demos []prompt.Demo, qs []entity.Pair) (llm.Response, int, error) {
 	trimmed := 0
 	format := prompt.TextAnswers
 	if f.cfg.JSONAnswers {
@@ -156,6 +165,7 @@ func (f *Framework) callWithTrim(ctx context.Context, model llm.Model, demos []p
 			Model:       model.Name,
 			Prompt:      p.Text,
 			Temperature: f.cfg.Temperature,
+			Tier:        tier,
 		})
 		if err == nil {
 			return resp, trimmed, nil
@@ -170,11 +180,11 @@ func (f *Framework) callWithTrim(ctx context.Context, model llm.Model, demos []p
 				return llm.Response{}, trimmed, err
 			}
 			mid := len(qs) / 2
-			left, tl, err := f.callWithTrim(ctx, model, nil, qs[:mid])
+			left, tl, err := f.callWithTrim(ctx, model, tier, nil, qs[:mid])
 			if err != nil {
 				return llm.Response{}, trimmed, err
 			}
-			right, tr, err := f.callWithTrim(ctx, model, nil, qs[mid:])
+			right, tr, err := f.callWithTrim(ctx, model, tier, nil, qs[mid:])
 			if err != nil {
 				return llm.Response{}, trimmed, err
 			}

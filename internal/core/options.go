@@ -66,6 +66,17 @@ func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n 
 // of the paper's free-text format (parsing accepts both).
 func WithJSONAnswers() Option { return func(c *Config) { c.JSONAnswers = true } }
 
+// WithCheapModel enables cascade matching: batches go to this registry
+// model first and escalate to the main model only when the vote-k margin
+// is low or the cheap answer carries Unknowns. Pair it with a client
+// that routes tiers (llm.NewTiered) so each tier hits its own backend.
+func WithCheapModel(name string) Option { return func(c *Config) { c.CheapModel = name } }
+
+// WithEscalateMargin sets the vote-k margin below which a cascade batch
+// bypasses the cheap tier entirely (default 0: escalate only on Unknown
+// answers). Only meaningful together with WithCheapModel.
+func WithEscalateMargin(m float64) Option { return func(c *Config) { c.EscalateMargin = m } }
+
 // WithConfig overlays an explicit Config wholesale. It exists for callers
 // that build configurations programmatically (sweeps, serialized configs)
 // and composes with the other options: later options still apply on top.

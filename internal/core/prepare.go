@@ -23,6 +23,9 @@ type Prepared struct {
 	batches   Batches
 	sel       selection
 	model     llm.Model
+	// cheap is the cascade's cheap tier; valid only when cascade is set.
+	cheap   llm.Model
+	cascade bool
 }
 
 // Prepare runs the CPU-bound front half of a resolution: entity
@@ -65,6 +68,14 @@ func (f *Framework) Prepare(ctx context.Context, questions, pool []entity.Pair) 
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CheapModel != "" {
+		cheap, err := llm.Lookup(cfg.CheapModel)
+		if err != nil {
+			return nil, err
+		}
+		p.cheap = cheap
+		p.cascade = true
+	}
 	p.batches = batches
 	p.model = model
 	return p, nil
@@ -104,10 +115,20 @@ func (p *Prepared) Start(ctx context.Context) *Stream {
 	if workers > len(p.batches) {
 		workers = len(p.batches)
 	}
+	plan := &execPlan{
+		f:         p.f,
+		model:     p.model,
+		cheap:     p.cheap,
+		cascade:   p.cascade,
+		batches:   p.batches,
+		sel:       p.sel,
+		questions: p.questions,
+		pool:      p.pool,
+	}
 	if workers <= 1 {
-		go st.runSequential(runCtx, p.f, p.model, p.batches, p.sel, p.questions, p.pool)
+		go st.runSequential(runCtx, plan)
 	} else {
-		go st.runParallel(runCtx, p.f, p.model, p.batches, p.sel, p.questions, p.pool, workers)
+		go st.runParallel(runCtx, plan, workers)
 	}
 	return st
 }

@@ -12,30 +12,36 @@ import (
 )
 
 // selection is the result of demonstration selection: for each batch, the
-// pool indices of its demonstrations, plus the set of distinct pool
-// indices that had to be annotated.
+// pool indices of its demonstrations, the set of distinct pool indices
+// that had to be annotated, and each batch's vote-k disagreement margin.
 type selection struct {
 	perBatch [][]int
 	labeled  []int
+	// margins holds voteMargins over the annotated set, aligned with
+	// perBatch. It is computed for every strategy — the margin is a
+	// property of the annotated geometry, not of vote-k selection — so
+	// the cascade's escalation signal is always available.
+	margins []float64
 }
 
 // selectDemos runs the configured demonstration selection strategy
 // (Section IV) over the generated batches.
 func selectDemos(cfg Config, batches Batches, qVecs, dVecs []feature.Vector, pool []entity.Pair) selection {
+	var sel selection
 	switch cfg.Selection {
-	case FixedSelection:
-		return fixedSelection(cfg, batches, len(pool))
 	case TopKBatch:
-		return topKBatchSelection(cfg, batches, qVecs, dVecs)
+		sel = topKBatchSelection(cfg, batches, qVecs, dVecs)
 	case TopKQuestion:
-		return topKQuestionSelection(cfg, batches, qVecs, dVecs)
+		sel = topKQuestionSelection(cfg, batches, qVecs, dVecs)
 	case CoveringSelection:
-		return coveringSelection(cfg, batches, qVecs, dVecs, pool)
+		sel = coveringSelection(cfg, batches, qVecs, dVecs, pool)
 	case VoteKSelection:
-		return voteKSelection(cfg, batches, qVecs, dVecs)
+		sel = voteKSelection(cfg, batches, qVecs, dVecs)
 	default:
-		return fixedSelection(cfg, batches, len(pool))
+		sel = fixedSelection(cfg, batches, len(pool))
 	}
+	sel.margins = voteMargins(cfg, batches, qVecs, dVecs, sel.labeled)
+	return sel
 }
 
 // fixedSelection samples NumDemos pool indices once and shares them with

@@ -32,6 +32,14 @@ type BatchResult struct {
 	TrimmedDemos int
 	// Ledger is the API cost delta for this batch alone.
 	Ledger cost.Ledger
+	// VoteMargin is the batch's vote-k disagreement margin in [0,1]:
+	// low values mean the annotated neighbourhood disagrees about this
+	// batch's questions. It is the cascade's pre-call escalation signal
+	// and is reported for every run, cascade or not.
+	VoteMargin float64
+	// Tier names the tier that produced Pred on a cascade run
+	// (cost.TierCheap or cost.TierExpensive); empty on single-model runs.
+	Tier string
 }
 
 // BatchError is the typed error ResolveStream and Resolve report when a
@@ -93,6 +101,7 @@ func (s *Stream) NewResult() *Result {
 		Batches:      s.batches,
 		DemosLabeled: len(s.labeledPool),
 		LabeledPool:  s.labeledPool,
+		BatchMargins: make([]float64, len(s.batches)),
 	}
 	for i := range res.Pred {
 		res.Pred[i] = entity.Unknown
@@ -170,46 +179,119 @@ func (s *Stream) emit(br BatchResult) {
 	s.ch <- br
 }
 
-// runBatch annotates, prompts, and parses one batch.
-func (f *Framework) runBatch(ctx context.Context, model llm.Model, batches Batches, sel selection, questions, pool []entity.Pair, bi int) (BatchResult, error) {
-	demos := f.annotate(pool, sel.perBatch[bi])
-	batch := batches[bi]
+// execPlan is everything the execution half needs to run batches: the
+// prepared inputs plus the cascade tiering decision. It exists so the
+// producer goroutines carry one value instead of seven parameters.
+type execPlan struct {
+	f         *Framework
+	model     llm.Model // the (expensive, on cascade runs) main model
+	cheap     llm.Model // the cheap tier; valid only when cascade is set
+	cascade   bool
+	batches   Batches
+	sel       selection
+	questions []entity.Pair
+	pool      []entity.Pair
+}
+
+// margin returns batch bi's vote-k margin (1 when margins are absent).
+func (p *execPlan) margin(bi int) float64 {
+	if bi < len(p.sel.margins) {
+		return p.sel.margins[bi]
+	}
+	return 1
+}
+
+// runBatch annotates, prompts, and parses one batch. On cascade runs it
+// routes the batch through the tiers: straight to the expensive model
+// when the vote-k margin is below the escalation threshold, otherwise
+// cheap first with an escalation retry when the cheap answer carries
+// Unknowns. The escalated request reuses the identical demos and
+// questions — only the model and tier differ — so caches key the two
+// attempts apart by tier, and resume re-derives the same escalation
+// decision from the same cached cheap completion.
+func (f *Framework) runBatch(ctx context.Context, p *execPlan, bi int) (BatchResult, error) {
+	demos := f.annotate(p.pool, p.sel.perBatch[bi])
+	batch := p.batches[bi]
 	qs := make([]entity.Pair, len(batch))
 	for i, qi := range batch {
-		qs[i] = questions[qi]
+		qs[i] = p.questions[qi]
 	}
-	resp, trimmed, err := f.callWithTrim(ctx, model, demos, qs)
+	br := BatchResult{Index: bi, Questions: batch, VoteMargin: p.margin(bi)}
+	if !p.cascade {
+		resp, trimmed, err := f.callWithTrim(ctx, p.model, llm.TierDefault, demos, qs)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		br.Pred = prompt.ParseAnswersAny(resp.Completion, len(batch))
+		br.InputTokens = resp.InputTokens
+		br.OutputTokens = resp.OutputTokens
+		br.TrimmedDemos = trimmed
+		// A cache-served batch made no API call: its tokens are zero and it
+		// must not inflate the ledger's call count either, or resumed and
+		// cached runs would report more calls than were ever billed.
+		if !resp.CacheHit {
+			br.Ledger.AddCall(p.model.Pricing, resp.InputTokens, resp.OutputTokens)
+		}
+		return br, nil
+	}
+	if br.VoteMargin >= f.cfg.EscalateMargin {
+		resp, trimmed, err := f.callWithTrim(ctx, p.cheap, llm.TierCheap, demos, qs)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		pred := prompt.ParseAnswersAny(resp.Completion, len(batch))
+		br.InputTokens += resp.InputTokens
+		br.OutputTokens += resp.OutputTokens
+		br.TrimmedDemos += trimmed
+		if !resp.CacheHit {
+			br.Ledger.AddTierCall(cost.TierCheap, p.cheap.Pricing, resp.InputTokens, resp.OutputTokens)
+		}
+		if !anyUnknown(pred) {
+			br.Pred = pred
+			br.Tier = cost.TierCheap
+			return br, nil
+		}
+	}
+	// Escalate: low margin skipped the cheap tier, or its answer carried
+	// Unknowns. Both attempts' tokens accumulate on the batch; the ledger
+	// splits them per tier.
+	resp, trimmed, err := f.callWithTrim(ctx, p.model, llm.TierExpensive, demos, qs)
 	if err != nil {
 		return BatchResult{}, err
 	}
-	br := BatchResult{
-		Index:        bi,
-		Questions:    batch,
-		Pred:         prompt.ParseAnswersAny(resp.Completion, len(batch)),
-		InputTokens:  resp.InputTokens,
-		OutputTokens: resp.OutputTokens,
-		TrimmedDemos: trimmed,
-	}
-	// A cache-served batch made no API call: its tokens are zero and it
-	// must not inflate the ledger's call count either, or resumed and
-	// cached runs would report more calls than were ever billed.
+	br.Pred = prompt.ParseAnswersAny(resp.Completion, len(batch))
+	br.InputTokens += resp.InputTokens
+	br.OutputTokens += resp.OutputTokens
+	br.TrimmedDemos += trimmed
 	if !resp.CacheHit {
-		br.Ledger.AddCall(model.Pricing, resp.InputTokens, resp.OutputTokens)
+		br.Ledger.AddTierCall(cost.TierExpensive, p.model.Pricing, resp.InputTokens, resp.OutputTokens)
 	}
+	br.Tier = cost.TierExpensive
 	return br, nil
+}
+
+// anyUnknown reports whether any answer failed to parse to a label —
+// the cascade's post-call low-confidence escalation trigger.
+func anyUnknown(pred []entity.Label) bool {
+	for _, l := range pred {
+		if l == entity.Unknown {
+			return true
+		}
+	}
+	return false
 }
 
 // runSequential is the single-worker producer: one batch at a time, with
 // a cancellation check between calls.
-func (s *Stream) runSequential(ctx context.Context, f *Framework, model llm.Model, batches Batches, sel selection, questions, pool []entity.Pair) {
+func (s *Stream) runSequential(ctx context.Context, p *execPlan) {
 	defer close(s.ch)
 	defer s.cancel()
-	for bi := range batches {
+	for bi := range p.batches {
 		if err := ctx.Err(); err != nil {
 			s.setErr(&BatchError{Batch: bi, Err: err})
 			return
 		}
-		br, err := f.runBatch(ctx, model, batches, sel, questions, pool, bi)
+		br, err := p.f.runBatch(ctx, p, bi)
 		if err != nil {
 			s.setErr(&BatchError{Batch: bi, Err: err})
 			return
@@ -223,7 +305,7 @@ func (s *Stream) runSequential(ctx context.Context, f *Framework, model llm.Mode
 // completions in ascending batch order. On the first failure the derived
 // context is cancelled, which drains the jobs channel and stops every
 // worker without leaking goroutines.
-func (s *Stream) runParallel(ctx context.Context, f *Framework, model llm.Model, batches Batches, sel selection, questions, pool []entity.Pair, workers int) {
+func (s *Stream) runParallel(ctx context.Context, p *execPlan, workers int) {
 	defer close(s.ch)
 	defer s.cancel()
 
@@ -246,7 +328,7 @@ func (s *Stream) runParallel(ctx context.Context, f *Framework, model llm.Model,
 					if !ok {
 						return
 					}
-					br, err := f.runBatch(ctx, model, batches, sel, questions, pool, bi)
+					br, err := p.f.runBatch(ctx, p, bi)
 					if err != nil {
 						err = &BatchError{Batch: bi, Err: err}
 					}
@@ -262,7 +344,7 @@ func (s *Stream) runParallel(ctx context.Context, f *Framework, model llm.Model,
 	}
 	go func() {
 		defer close(jobs)
-		for bi := range batches {
+		for bi := range p.batches {
 			select {
 			case jobs <- bi:
 			case <-ctx.Done():
@@ -307,7 +389,7 @@ func (s *Stream) runParallel(ctx context.Context, f *Framework, model llm.Model,
 			next++
 		}
 	}
-	if next < len(batches) {
+	if next < len(p.batches) {
 		if cause == nil {
 			// No batch-level error: the parent context must have died.
 			cause = ctx.Err()

@@ -89,6 +89,46 @@ func voteKSelection(cfg Config, batches Batches, qVecs, dVecs []feature.Vector) 
 	return sel
 }
 
+// voteMargins computes the per-batch vote-k disagreement margin, the
+// cascade's pre-call uncertainty signal. For each question, the margin is
+// the relative gap between its nearest and second-nearest annotated
+// demonstrations, (d2-d1)/(d1+d2): near 0 the two nearest exemplars are
+// equidistant — the question sits on a boundary between labeled regions,
+// so neighbourhood voting disagrees — and near 1 a single exemplar
+// dominates. A batch's margin is its least-certain question's. Batches
+// with fewer than two annotated demonstrations to vote, or degenerate
+// zero distances, report 1 (no disagreement evidence).
+func voteMargins(cfg Config, batches Batches, qVecs, dVecs []feature.Vector, labeled []int) []float64 {
+	margins := make([]float64, len(batches))
+	annVecs := make([]feature.Vector, len(labeled))
+	for i, di := range labeled {
+		annVecs[i] = dVecs[di]
+	}
+	for bi, batch := range batches {
+		m := 1.0
+		if len(annVecs) >= 2 {
+			for _, qi := range batch {
+				d1, d2 := math.Inf(1), math.Inf(1)
+				for _, av := range annVecs {
+					d := cfg.Distance(qVecs[qi], av)
+					if d < d1 {
+						d1, d2 = d, d1
+					} else if d < d2 {
+						d2 = d
+					}
+				}
+				if sum := d1 + d2; sum > 0 {
+					if qm := (d2 - d1) / sum; qm < m {
+						m = qm
+					}
+				}
+			}
+		}
+		margins[bi] = m
+	}
+	return margins
+}
+
 // voteKBudgetFactor scales the annotation budget relative to NumDemos.
 const voteKBudgetFactor = 3
 

@@ -23,6 +23,29 @@ func (p Pricing) APICost(inputTokens, outputTokens int) float64 {
 	return float64(inputTokens)/1000*p.InputPer1K + float64(outputTokens)/1000*p.OutputPer1K
 }
 
+// Tier names used by the cascade's two-model ledger split. Any string is
+// a valid tier; these are the ones core stamps on cascade calls.
+const (
+	// TierCheap bills the cascade's cheap backend.
+	TierCheap = "cheap"
+	// TierExpensive bills the cascade's expensive (escalation) backend.
+	TierExpensive = "expensive"
+)
+
+// TierUsage is one tier's share of a ledger's API side. It is the unit
+// persisted in run journals, so its fields carry JSON tags.
+type TierUsage struct {
+	// Tier is the tier name (TierCheap, TierExpensive, ...).
+	Tier string `json:"tier"`
+	// Calls is the number of billed calls on this tier.
+	Calls int `json:"calls"`
+	// InputTokens and OutputTokens are the billed token counts.
+	InputTokens  int `json:"in"`
+	OutputTokens int `json:"out"`
+	// Dollars is the accumulated API charge on this tier.
+	Dollars float64 `json:"usd"`
+}
+
 // Ledger accumulates the monetary cost of an ER run: API charges per call
 // and labeling charges per annotated demonstration. The zero value is
 // ready to use. Ledger is not safe for concurrent use; callers running
@@ -33,6 +56,10 @@ type Ledger struct {
 	apiDollars   float64
 	calls        int
 	labeled      int
+	// tiers splits the API side per tier for cascade runs, sorted by tier
+	// name. Mutations copy the slice first, so ledger value copies never
+	// alias live state.
+	tiers []TierUsage
 }
 
 // AddCall records one LLM API call billed under pricing.
@@ -41,6 +68,56 @@ func (l *Ledger) AddCall(p Pricing, inputTokens, outputTokens int) {
 	l.outputTokens += outputTokens
 	l.apiDollars += p.APICost(inputTokens, outputTokens)
 	l.calls++
+}
+
+// AddTierCall records one LLM API call billed under pricing and
+// attributed to the named tier. An empty tier bills like AddCall with no
+// tier bucket.
+func (l *Ledger) AddTierCall(tier string, p Pricing, inputTokens, outputTokens int) {
+	l.AddCall(p, inputTokens, outputTokens)
+	if tier == "" {
+		return
+	}
+	l.addTier(TierUsage{
+		Tier:         tier,
+		Calls:        1,
+		InputTokens:  inputTokens,
+		OutputTokens: outputTokens,
+		Dollars:      p.APICost(inputTokens, outputTokens),
+	})
+}
+
+// addTier folds u into the tier buckets, copying the slice first so the
+// ledger's value copies stay independent.
+func (l *Ledger) addTier(u TierUsage) {
+	tiers := make([]TierUsage, len(l.tiers), len(l.tiers)+1)
+	copy(tiers, l.tiers)
+	i := 0
+	for i < len(tiers) && tiers[i].Tier < u.Tier {
+		i++
+	}
+	if i < len(tiers) && tiers[i].Tier == u.Tier {
+		tiers[i].Calls += u.Calls
+		tiers[i].InputTokens += u.InputTokens
+		tiers[i].OutputTokens += u.OutputTokens
+		tiers[i].Dollars += u.Dollars
+	} else {
+		tiers = append(tiers, TierUsage{})
+		copy(tiers[i+1:], tiers[i:])
+		tiers[i] = u
+	}
+	l.tiers = tiers
+}
+
+// TierBreakdown returns the per-tier API split, sorted by tier name.
+// Empty for runs that never billed a tiered call.
+func (l *Ledger) TierBreakdown() []TierUsage {
+	if len(l.tiers) == 0 {
+		return nil
+	}
+	out := make([]TierUsage, len(l.tiers))
+	copy(out, l.tiers)
+	return out
 }
 
 // AddLabels records n manually annotated demonstration pairs.
@@ -66,6 +143,9 @@ func (l *Ledger) MergeAPI(other *Ledger) {
 	l.outputTokens += other.outputTokens
 	l.apiDollars += other.apiDollars
 	l.calls += other.calls
+	for _, u := range other.tiers {
+		l.addTier(u)
+	}
 }
 
 // RestoreAPI reconstructs a ledger's API side from persisted counters, the
@@ -79,6 +159,17 @@ func RestoreAPI(calls, inputTokens, outputTokens int, apiDollars float64) Ledger
 		outputTokens: outputTokens,
 		apiDollars:   apiDollars,
 	}
+}
+
+// RestoreAPITiered is RestoreAPI plus the per-tier split, for journaled
+// cascade batches. tiers may arrive in any order; buckets are re-folded
+// into canonical sorted form.
+func RestoreAPITiered(calls, inputTokens, outputTokens int, apiDollars float64, tiers []TierUsage) Ledger {
+	l := RestoreAPI(calls, inputTokens, outputTokens, apiDollars)
+	for _, u := range tiers {
+		l.addTier(u)
+	}
+	return l
 }
 
 // API returns the accumulated API cost in dollars.
@@ -102,8 +193,13 @@ func (l *Ledger) OutputTokens() int { return l.outputTokens }
 // LabeledPairs returns the number of pairs annotated.
 func (l *Ledger) LabeledPairs() int { return l.labeled }
 
-// String summarizes the ledger for reports.
+// String summarizes the ledger for reports. Cascade runs append the
+// per-tier split; single-model ledgers render exactly as before.
 func (l *Ledger) String() string {
-	return fmt.Sprintf("api=$%.2f (%d calls, %d in / %d out tokens) label=$%.2f (%d pairs) total=$%.2f",
+	s := fmt.Sprintf("api=$%.2f (%d calls, %d in / %d out tokens) label=$%.2f (%d pairs) total=$%.2f",
 		l.API(), l.calls, l.inputTokens, l.outputTokens, l.Labeling(), l.labeled, l.Total())
+	for _, u := range l.tiers {
+		s += fmt.Sprintf(" | %s=$%.2f (%d calls)", u.Tier, u.Dollars, u.Calls)
+	}
+	return s
 }

@@ -102,6 +102,69 @@ func (p Plan) WallClock(perCall time.Duration, parallelism, streamWindow, inFlig
 	return time.Duration(turns*roundsPerWindow) * perCall
 }
 
+// TierLoad is one tier's share of a cascade plan: how many prompts land
+// on it, at what per-call latency, priced by its own rate card. It is
+// the per-tier generalization of the single (perCall, Pricing) pair
+// WallClock and APIDollars assume.
+type TierLoad struct {
+	// Prompts is the number of API calls this tier answers.
+	Prompts int
+	// PerCall is the tier's measured per-call latency.
+	PerCall time.Duration
+	// Pricing is the tier's rate card.
+	Pricing Pricing
+	// InputTokens and OutputTokens are the tier's projected token totals.
+	InputTokens  int
+	OutputTokens int
+}
+
+// Dollars returns the tier's projected API charge.
+func (t TierLoad) Dollars() float64 {
+	return t.Pricing.APICost(t.InputTokens, t.OutputTokens)
+}
+
+// WallClockTiered projects the LLM-bound wall-clock of a cascade run
+// whose prompts split across tiers with distinct latencies. Execution
+// knobs mean what they do in WallClock; each tier's prompts are assumed
+// spread evenly over the run's windows, and within a window the tiers'
+// call rounds serialize (an escalated batch waits on its cheap attempt).
+func (p Plan) WallClockTiered(tiers []TierLoad, parallelism, streamWindow, inFlightWindows int) time.Duration {
+	if p.Questions <= 0 {
+		return 0
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	if streamWindow <= 0 || streamWindow > p.Questions {
+		streamWindow = p.Questions
+	}
+	if inFlightWindows <= 0 {
+		inFlightWindows = 1
+	}
+	windows := (p.Questions + streamWindow - 1) / streamWindow
+	turns := (windows + inFlightWindows - 1) / inFlightWindows
+	var wall time.Duration
+	for _, t := range tiers {
+		if t.Prompts <= 0 || t.PerCall <= 0 {
+			continue
+		}
+		promptsPerWindow := (t.Prompts + windows - 1) / windows
+		rounds := (promptsPerWindow + parallelism - 1) / parallelism
+		wall += time.Duration(turns*rounds) * t.PerCall
+	}
+	return wall
+}
+
+// TieredDollars sums the tiers' projected API charges — the cascade
+// counterpart of APIDollars.
+func TieredDollars(tiers []TierLoad) float64 {
+	var usd float64
+	for _, t := range tiers {
+		usd += t.Dollars()
+	}
+	return usd
+}
+
 // CompareBatchSizes returns the projected total for each candidate batch
 // size, holding everything else fixed — the planning sweep behind the
 // paper's batch-size choice.

@@ -1,0 +1,101 @@
+package cost_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"batcher/internal/core"
+	"batcher/internal/cost"
+	"batcher/internal/datagen"
+	"batcher/internal/entity"
+	"batcher/internal/llm"
+)
+
+// TestWallClockTieredMatchesSimulatedRun checks the tiered planner
+// against reality: a cascade resolution over simulated backends with
+// known injected latencies must land within tolerance of the
+// WallClockTiered projection built from the run's own tier breakdown,
+// and TieredDollars must reproduce the ledger's API total. The planner
+// deliberately counts only LLM latency, so it is a lower bound; the
+// run's CPU front half is the slack the tolerance absorbs.
+func TestWallClockTieredMatchesSimulatedRun(t *testing.T) {
+	d, err := datagen.GenerateByName("Beer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := entity.SplitPairs(d.Pairs)
+	questions, pool := split.Test[:24], split.Train
+	oracle := llm.BuildOracle(d.Pairs)
+
+	const cheapLat, expLat = 15 * time.Millisecond, 45 * time.Millisecond
+	sim := llm.NewSimulated(oracle, 1)
+	client := llm.NewTiered(
+		llm.NewLatency(sim, cheapLat),
+		llm.NewLatency(llm.NewSimulated(oracle, 2), expLat),
+	)
+	cfg := core.Config{
+		BatchSize:  4,
+		Seed:       1,
+		Model:      llm.GPT4,
+		CheapModel: llm.GPT35Turbo0301,
+	}
+	f := core.NewFromConfig(client, cfg)
+	t0 := time.Now()
+	res, err := f.Resolve(context.Background(), questions, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	// Rebuild the plan's tier loads from what the run actually did.
+	buckets := res.Ledger.TierBreakdown()
+	if len(buckets) == 0 {
+		t.Fatal("cascade run recorded no tier buckets")
+	}
+	latency := map[string]time.Duration{
+		cost.TierCheap:     cheapLat,
+		cost.TierExpensive: expLat,
+	}
+	pricing := map[string]cost.Pricing{
+		cost.TierCheap:     llm.MustLookup(llm.GPT35Turbo0301).Pricing,
+		cost.TierExpensive: llm.MustLookup(llm.GPT4).Pricing,
+	}
+	tiers := make([]cost.TierLoad, 0, len(buckets))
+	for _, b := range buckets {
+		tiers = append(tiers, cost.TierLoad{
+			Prompts:      b.Calls,
+			PerCall:      latency[b.Tier],
+			Pricing:      pricing[b.Tier],
+			InputTokens:  b.InputTokens,
+			OutputTokens: b.OutputTokens,
+		})
+	}
+	plan := cost.Plan{Questions: len(questions), BatchSize: cfg.BatchSize}
+
+	// Dollars: pricing is linear in tokens, so the projection over the
+	// aggregated tier tokens must reproduce the per-call ledger total.
+	gotUSD, wantUSD := cost.TieredDollars(tiers), res.Ledger.API()
+	diff := gotUSD - wantUSD
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-9*(1+wantUSD) {
+		t.Errorf("TieredDollars = %v, ledger api = %v", gotUSD, wantUSD)
+	}
+
+	// Wall clock: sequential collected run, so the projection is the
+	// serial sum of per-tier latencies. It must be a lower bound on the
+	// measured elapsed time and within 2x of it (the simulated backends
+	// do almost no CPU work, so LLM latency dominates).
+	pred := plan.WallClockTiered(tiers, cfg.Parallelism, 0, 0)
+	if pred <= 0 {
+		t.Fatalf("projection = %v, want positive", pred)
+	}
+	if pred > elapsed+elapsed/10 {
+		t.Errorf("projection %v exceeds measured wall clock %v", pred, elapsed)
+	}
+	if pred < elapsed/2 {
+		t.Errorf("projection %v under half the measured wall clock %v; the model is too loose", pred, elapsed)
+	}
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCascadeBenchSmall runs a miniature cascade frontier end to end
+// and checks the points and the emitted BENCH document are well-formed.
+func TestRunCascadeBenchSmall(t *testing.T) {
+	o := CascadeBenchOptions{
+		Rows:       400,
+		Window:     64,
+		TrainPairs: 120,
+		Taus:       []TauPoint{{0.1, 0.9}},
+		Margins:    []float64{0, 0.25},
+	}
+	r, err := RunCascadeBench(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Baseline
+	if base.F1 <= 0 || base.Total <= 0 || base.Candidates == 0 {
+		t.Fatalf("baseline = %+v, want positive F1, cost, candidates", base)
+	}
+	if base.CheapCalls != 0 || base.Train != 0 || base.AutoResolved != 0 {
+		t.Errorf("baseline = %+v, want no cheap tier, training, or auto-resolution", base)
+	}
+	if base.ExpensiveCalls == 0 || base.ExpensiveUSD <= 0 {
+		t.Errorf("baseline = %+v, want all spend in the expensive column", base)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Determinism contract: every point matched the same candidates.
+		if p.Candidates != base.Candidates {
+			t.Errorf("point %q matched %d candidates, baseline %d", p.Setting, p.Candidates, base.Candidates)
+		}
+		if p.AutoResolved == 0 {
+			t.Errorf("point %q auto-resolved nothing; the pre-filter is inert", p.Setting)
+		}
+		if p.Train <= 0 {
+			t.Errorf("point %q billed no training labels", p.Setting)
+		}
+		// The fixed training bill dominates total cost at this toy scale
+		// (it amortizes at benchmark scale), so the frontier claim to pin
+		// here is the API-dollar reduction from routing.
+		if p.API >= base.API {
+			t.Errorf("point %q API spend $%v not below baseline $%v", p.Setting, p.API, base.API)
+		}
+		if want := base.Total / p.Total; p.CostReduction != want {
+			t.Errorf("point %q cost reduction %v, want base/point = %v", p.Setting, p.CostReduction, want)
+		}
+		if diff := p.Total + 1e-12; diff < p.API+p.Label+p.Train {
+			t.Errorf("point %q total %v does not cover components", p.Setting, p.Total)
+		}
+		if p.CheapCalls == 0 {
+			t.Errorf("point %q never used the cheap tier", p.Setting)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, CascadeBenchFile(o, r)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description string                    `json:"description"`
+		Results     map[string]map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted document is not valid JSON: %v", err)
+	}
+	if !strings.Contains(doc.Description, "erbench -exp cascade -json") {
+		t.Error("description should say how to regenerate the file")
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("document has %d results, want 3 (baseline + 2 points)", len(doc.Results))
+	}
+	rec, ok := doc.Results["CascadeRun/tau_0.1_0.9/margin_0.25"]
+	if !ok {
+		t.Fatalf("missing expected result key; have %v", doc.Results)
+	}
+	for _, field := range []string{"ns_per_op", "f1_pts", "cost_reduction_x", "cheap_calls", "auto_resolved"} {
+		if _, ok := rec[field]; !ok {
+			t.Errorf("record missing %s", field)
+		}
+	}
+}

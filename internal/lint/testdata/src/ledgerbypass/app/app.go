@@ -28,3 +28,23 @@ type Logging struct {
 func (l *Logging) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
 	return l.Inner.Complete(ctx, req)
 }
+
+// Tiered is the cascade router shape: middleware holding one client per
+// tier, its Complete forwarding to whichever tier the request names.
+// Both forwarding calls are sanctioned without any allowlist — a
+// routing Complete on a Client implementation IS the middleware shape,
+// however many inner clients it chooses between.
+type Tiered struct {
+	// Cheap answers cheap-tier requests.
+	Cheap llm.Client
+	// Expensive answers escalated requests.
+	Expensive llm.Client
+}
+
+// Complete implements llm.Client by routing on the request's tier.
+func (t *Tiered) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if req.Tier == "expensive" {
+		return t.Expensive.Complete(ctx, req)
+	}
+	return t.Cheap.Complete(ctx, req)
+}

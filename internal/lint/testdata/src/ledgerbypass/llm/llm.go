@@ -10,6 +10,8 @@ import "context"
 type Request struct {
 	// Prompt is the user prompt.
 	Prompt string
+	// Tier names the cascade tier the request bills to.
+	Tier string
 }
 
 // Response is one completion answer.

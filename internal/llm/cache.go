@@ -64,9 +64,10 @@ func CacheKey(req Request) string {
 	// Temperature participates: different sampling regimes are different
 	// distributions. Hash the IEEE-754 bits so any distinct value gets a
 	// distinct key without precision cutoffs.
-	var buf [16]byte
+	var buf [24]byte
 	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(req.Temperature))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(req.MaxTokens))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(req.MaxTokens))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(req.Tier))
 	h.Write(buf[:])
 	return hex.EncodeToString(h.Sum(nil))
 }

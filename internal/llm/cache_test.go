@@ -76,6 +76,7 @@ func TestCacheKeyCoversFullRequest(t *testing.T) {
 		{Model: "m", System: "s", Prompt: "p", Temperature: 0.02, MaxTokens: 64},
 		{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 65},
 		{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 0},
+		{Model: "m", System: "s", Prompt: "p", Temperature: 0.01, MaxTokens: 64, Tier: TierExpensive},
 	}
 	seen := map[string]int{CacheKey(base): -1}
 	for i, v := range variants {

@@ -31,6 +31,11 @@ type Request struct {
 	Temperature float64
 	// MaxTokens caps the completion length; 0 uses the client's default.
 	MaxTokens int
+	// Tier routes the request inside a Tiered client (see NewTiered).
+	// Non-tiered clients ignore it. It participates in CacheKey because a
+	// cascade rewrites Model alongside it and the two must stay coupled in
+	// cache identity.
+	Tier Tier
 }
 
 // Response is a completion plus the token usage the API billed.

@@ -1,0 +1,59 @@
+package llm
+
+import "context"
+
+// Tier selects which backend of a Tiered client answers a request. The
+// zero value routes like TierCheap, so clients that never set it keep
+// their pre-cascade behaviour.
+type Tier int
+
+// Tier values. A cascade run marks the bulk ambiguous traffic TierCheap
+// and escalates only low-margin or low-confidence batches to
+// TierExpensive; see internal/cascade.
+const (
+	// TierDefault routes to the cheap backend (same as TierCheap); it is
+	// the zero value carried by non-cascade requests.
+	TierDefault Tier = iota
+	// TierCheap routes to the cheap backend explicitly.
+	TierCheap
+	// TierExpensive escalates to the expensive backend.
+	TierExpensive
+)
+
+// String names the tier for logs and journal records.
+func (t Tier) String() string {
+	switch t {
+	case TierExpensive:
+		return "expensive"
+	case TierCheap:
+		return "cheap"
+	default:
+		return "default"
+	}
+}
+
+// Tiered is a routing middleware over two backends: requests flow to the
+// cheap client unless Request.Tier says TierExpensive. Both backends can
+// themselves be wrapped (cache, rate limit, retry, latency), so each
+// tier keeps its own quota and failure policy. The router adds no
+// billing of its own — cost accounting happens in core, per tier, via
+// cost.Ledger.AddTierCall.
+type Tiered struct {
+	cheap     Client
+	expensive Client
+}
+
+// NewTiered returns a router sending TierExpensive requests to expensive
+// and everything else to cheap.
+func NewTiered(cheap, expensive Client) *Tiered {
+	return &Tiered{cheap: cheap, expensive: expensive}
+}
+
+// Complete implements Client by forwarding to the backend Request.Tier
+// selects.
+func (t *Tiered) Complete(ctx context.Context, req Request) (Response, error) {
+	if req.Tier == TierExpensive {
+		return t.expensive.Complete(ctx, req)
+	}
+	return t.cheap.Complete(ctx, req)
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"batcher/internal/cascade"
+	"batcher/internal/core"
+	"batcher/internal/entity"
+)
+
+// routedWindow is one candidate window after cascade routing: the full
+// window as blocked, plus the ambiguous band that is the matcher's
+// actual input. Without a pre-filter the two are the same slice and the
+// window passes through untouched. All journal coordinates of a cascade
+// run — window offsets, sizes, pair keys — are in ambiguous pairs, not
+// raw candidates: the pre-filter is deterministic and fingerprinted
+// into the run meta, so a resume re-derives the identical band and the
+// journal never has to store the auto-resolved mass.
+type routedWindow struct {
+	full  []entity.Pair
+	amb   []entity.Pair
+	route *cascade.Routed
+}
+
+// routeWindow applies the pre-filter to one window; a nil pre-filter
+// passes the window through unchanged.
+func routeWindow(pf *cascade.Prefilter, win []entity.Pair) routedWindow {
+	if pf == nil {
+		return routedWindow{full: win, amb: win}
+	}
+	r := pf.RouteAll(win)
+	return routedWindow{full: win, amb: r.Amb, route: &r}
+}
+
+// autoResolved counts the pairs the pre-filter answered for free.
+func (rw routedWindow) autoResolved() int {
+	if rw.route == nil {
+		return 0
+	}
+	return rw.route.AutoYes + rw.route.AutoNo
+}
+
+// expand lifts a result over the ambiguous band back to full-window
+// coordinates: auto-resolved positions take the pre-filter's labels,
+// ambiguous positions take the matcher's (Unknown where a partial run
+// never answered). Counters and the ledger carry over untouched —
+// auto-resolved pairs billed nothing, which is the point.
+func (rw routedWindow) expand(res *core.Result) *core.Result {
+	if rw.route == nil {
+		return res
+	}
+	out := *res
+	pred := make([]entity.Label, len(rw.full))
+	copy(pred, rw.route.Pred)
+	for k, i := range rw.route.AmbIdx {
+		pred[i] = res.Pred[k]
+	}
+	out.Pred = pred
+	return &out
+}

@@ -14,7 +14,7 @@ import (
 )
 
 // inflight is one window travelling through the pipelined executor. The
-// dispatcher fills the identity fields (idx, offset, pairs, keys) and
+// dispatcher fills the identity fields (idx, offset, rw, keys) and
 // the journal decisions (verifyErr, replay); the runner goroutine fills
 // prepErr, stream, and results before closing prepped; the committer
 // reads everything after <-prepped. That close is the only
@@ -22,8 +22,11 @@ import (
 type inflight struct {
 	idx    int
 	offset int
-	pairs  []entity.Pair
-	// keys are the window's pair identities; nil without a journal.
+	// rw is the cascade-routed window: rw.full is the blocked window,
+	// rw.amb the matcher's input (identical without a pre-filter). All
+	// journal coordinates (offset, keys) are over rw.amb.
+	rw routedWindow
+	// keys are the matched pairs' identities; nil without a journal.
 	keys []string
 	// verifyErr is a journal/stream mismatch detected at dispatch; the
 	// window is not run and the committer fails the run when it reaches
@@ -50,7 +53,7 @@ type inflight struct {
 // mismatched windows do nothing — the committer handles them from the
 // journal state alone.
 func (w *inflight) run(ctx context.Context, f *core.Framework, pool []entity.Pair, profs *feature.Profiles) {
-	if w.verifyErr != nil || w.replay != nil {
+	if w.verifyErr != nil || w.replay != nil || len(w.rw.amb) == 0 {
 		close(w.prepped)
 		return
 	}
@@ -60,7 +63,7 @@ func (w *inflight) run(ctx context.Context, f *core.Framework, pool []entity.Pai
 	// could not record their completed (billed) batches. A cancelled run
 	// still stops promptly — the stream below checks ctx before its
 	// first LLM call — it just pays this window's CPU-only prep first.
-	prep, err := f.Prepare(feature.WithProfiles(context.WithoutCancel(ctx), profs), w.pairs, pool)
+	prep, err := f.Prepare(feature.WithProfiles(context.WithoutCancel(ctx), profs), w.rw.amb, pool)
 	if err != nil {
 		w.prepErr = err
 		close(w.prepped)
@@ -197,17 +200,20 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			if !ok {
 				return
 			}
-			win := w.pairs
+			// Routing happens here, serially, so every window's ambiguous
+			// offset is fixed before the next window is admitted — the
+			// journal coordinates cannot depend on runner timing.
+			rw := routeWindow(cfg.Prefilter, w.pairs)
 			pool := cfg.Pool
 			if pool == nil {
-				pool = win
+				pool = rw.amb
 			}
-			iw := &inflight{idx: wIdx, offset: offset, pairs: win, prepped: make(chan struct{})}
+			iw := &inflight{idx: wIdx, offset: offset, rw: rw, prepped: make(chan struct{})}
 			if cfg.Journal != nil {
-				iw.keys = pairKeys(win)
+				iw.keys = pairKeys(rw.amb)
 				if err := verifyJournalWindow(jstate, wIdx, offset, iw.keys); err != nil {
 					iw.verifyErr = err
-				} else if res, ok := replayWindow(jstate, wIdx, len(win)); ok {
+				} else if res, ok := replayWindow(jstate, wIdx, len(rw.amb)); ok {
 					iw.replay = res
 				}
 			}
@@ -215,7 +221,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			go iw.run(rctx, f, pool, w.profiles)
 			ordered <- iw
 			wIdx++
-			offset += len(win)
+			offset += len(rw.amb)
 		}
 	}()
 
@@ -245,14 +251,21 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			if iw.results == nil {
 				// Replayed, mismatched, or genuinely unpreparable windows
 				// never ran and billed nothing. (Prep runs uncancelled, so
-				// an abandon by itself never lands a window here.)
+				// an abandon by itself never lands a window here.) Fully
+				// auto-resolved windows still journal their empty start so
+				// the windows behind them can salvage: starts must stay
+				// gap-free.
+				if cfg.Journal != nil && iw.verifyErr == nil && iw.replay == nil &&
+					iw.prepErr == nil && len(iw.rw.amb) == 0 {
+					cfg.Journal.WindowStart(runstore.WindowStart{Index: iw.idx, Offset: iw.offset})
+				}
 				continue
 			}
 			if cfg.Journal != nil && iw.verifyErr == nil {
 				werr := cfg.Journal.WindowStart(runstore.WindowStart{
 					Index:   iw.idx,
 					Offset:  iw.offset,
-					Size:    len(iw.pairs),
+					Size:    len(iw.rw.amb),
 					Labeled: iw.stream.LabeledPool(),
 				})
 				for br := range iw.results {
@@ -276,7 +289,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	}
 
 	commit := func(iw *inflight) {
-		buffered.Add(-int64(len(iw.pairs)))
+		buffered.Add(-int64(len(iw.rw.full)))
 		inflightCount.Add(-1)
 		<-sem
 		rep.Windows++
@@ -299,10 +312,30 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		}
 		if iw.replay != nil {
 			<-iw.prepped
-			rep.Replayed += len(iw.pairs)
-			foldWindow(agg, iw.replay, sharedLabeled)
-			emitPairs(cfg, rep, iw.pairs, iw.replay.Pred)
-			rep.Candidates += len(iw.pairs)
+			rep.Replayed += len(iw.rw.amb)
+			full := iw.rw.expand(iw.replay)
+			foldWindow(agg, full, sharedLabeled)
+			emitPairs(cfg, rep, iw.rw.full, full.Pred)
+			rep.Candidates += len(iw.rw.full)
+			rep.AutoResolved += iw.rw.autoResolved()
+			commit(iw)
+			continue
+		}
+		if len(iw.rw.amb) == 0 {
+			// Fully auto-resolved window: nothing ran, but the journal
+			// still records its empty start so window starts stay gap-free.
+			<-iw.prepped
+			if cfg.Journal != nil {
+				err := cfg.Journal.WindowStart(runstore.WindowStart{Index: iw.idx, Offset: iw.offset})
+				if err != nil {
+					return abandon(fmt.Errorf("pipeline: journal: %w", err))
+				}
+			}
+			full := iw.rw.expand(&core.Result{})
+			foldWindow(agg, full, sharedLabeled)
+			emitPairs(cfg, rep, iw.rw.full, full.Pred)
+			rep.Candidates += len(iw.rw.full)
+			rep.AutoResolved += iw.rw.autoResolved()
 			commit(iw)
 			continue
 		}
@@ -321,7 +354,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			err := cfg.Journal.WindowStart(runstore.WindowStart{
 				Index:   iw.idx,
 				Offset:  iw.offset,
-				Size:    len(iw.pairs),
+				Size:    len(iw.rw.amb),
 				Labeled: iw.stream.LabeledPool(),
 			})
 			if err != nil {
@@ -350,9 +383,11 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		}
 		// Fold in even a partially-answered window, so billed spend and
 		// answered predictions survive a mid-window failure.
-		foldWindow(agg, res, sharedLabeled)
-		emitPairs(cfg, rep, iw.pairs, res.Pred)
-		rep.Candidates += len(iw.pairs)
+		full := iw.rw.expand(res)
+		foldWindow(agg, full, sharedLabeled)
+		emitPairs(cfg, rep, iw.rw.full, full.Pred)
+		rep.Candidates += len(iw.rw.full)
+		rep.AutoResolved += iw.rw.autoResolved()
 		if werr != nil {
 			return abandon(fmt.Errorf("pipeline: matching: %w", werr))
 		}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"batcher/internal/blocking"
+	"batcher/internal/cascade"
 	"batcher/internal/core"
 	"batcher/internal/entity"
 	"batcher/internal/feature"
@@ -94,6 +95,17 @@ type Config struct {
 	// per window in windowed mode, at the end otherwise. It lets callers
 	// sink results incrementally without holding every pair.
 	OnPair func(entity.Pair, entity.Label)
+	// Prefilter, if non-nil, routes every candidate window through the
+	// calibrated cascade pre-filter before matching: pairs outside its
+	// (tau-lo, tau-hi) band are auto-resolved for free and only the
+	// ambiguous band reaches the matcher (and, with Matcher.CheapModel
+	// set, the LLM tiers behind it). Journal coordinates of a cascade
+	// run are in ambiguous pairs — the pre-filter is deterministic and
+	// its fingerprint is stamped into the run meta, so a resume
+	// re-derives the identical routing and replays only what was
+	// actually matched. Resuming under a different pre-filter or tier
+	// configuration fails with runstore.ErrRunMismatch.
+	Prefilter *cascade.Prefilter
 	// Journal, if non-nil, records the run durably and enables resume.
 	// A fresh journal is stamped with the run's fingerprint (matcher
 	// config, window size, pool mode, table hash); an already-populated
@@ -162,7 +174,12 @@ type Report struct {
 	PeakBuffered int
 	// Replayed is the number of candidates whose predictions were
 	// replayed from the run journal instead of matched in this process.
+	// On cascade runs it counts replayed ambiguous pairs; auto-resolved
+	// pairs are re-routed locally on every run and never counted.
 	Replayed int
+	// AutoResolved is the number of candidates the cascade pre-filter
+	// answered without any LLM call. Zero when Config.Prefilter is nil.
+	AutoResolved int
 }
 
 // Run executes blocking and matching over the two tables. Cancelling ctx
@@ -249,32 +266,53 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		rep.Result = &core.Result{}
 		return rep, nil
 	}
+	rw := routeWindow(cfg.Prefilter, candidates)
+	rep.AutoResolved = rw.autoResolved()
 	pool := cfg.Pool
 	if pool == nil {
-		pool = candidates
+		pool = rw.amb
 	}
 	var keys []string
 	if cfg.Journal != nil {
-		keys = pairKeys(candidates)
+		keys = pairKeys(rw.amb)
 		st := cfg.Journal.State()
 		if err := verifyJournalWindow(st, 0, 0, keys); err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
-		if res, ok := replayWindow(st, 0, len(candidates)); ok {
-			rep.Result = res
+		if res, ok := replayWindow(st, 0, len(rw.amb)); ok {
+			full := rw.expand(res)
+			rep.Result = full
 			rep.Windows = 1
-			rep.Replayed = len(candidates)
-			emitPairs(cfg, rep, candidates, res.Pred)
+			rep.Replayed = len(rw.amb)
+			emitPairs(cfg, rep, candidates, full.Pred)
 			progress(cfg, Progress{
 				Blocked: len(candidates), BlockingDone: true,
-				Matched: len(candidates), Replayed: len(candidates),
-				Windows: 1, APIUSD: res.Ledger.API(),
+				Matched: len(candidates), Replayed: rep.Replayed,
+				Windows: 1, APIUSD: full.Ledger.API(),
 			})
 			return rep, nil
 		}
 	}
+	if len(rw.amb) == 0 {
+		// Everything auto-resolved: nothing for the matcher, but the
+		// journal still records the (empty) window so the run stays a
+		// contiguous, resumable prefix.
+		if cfg.Journal != nil {
+			if err := cfg.Journal.WindowStart(runstore.WindowStart{}); err != nil {
+				return nil, fmt.Errorf("pipeline: journal: %w", err)
+			}
+		}
+		rep.Result = rw.expand(&core.Result{})
+		rep.Windows = 1
+		emitPairs(cfg, rep, candidates, rep.Result.Pred)
+		progress(cfg, Progress{
+			Blocked: len(candidates), BlockingDone: true,
+			Matched: len(candidates), Windows: 1,
+		})
+		return rep, nil
+	}
 	t1 := time.Now()
-	res, err := resolveJournaled(ctx, f, cfg.Journal, 0, 0, candidates, pool, keys)
+	res, err := resolveJournaled(ctx, f, cfg.Journal, 0, 0, rw.amb, pool, keys)
 	rep.MatchingTime = time.Since(t1)
 	if res != nil && cfg.Journal != nil {
 		// Fold in what a previous, interrupted attempt already billed for
@@ -290,14 +328,14 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		// Keep the partial result: billed batches stay accounted and
 		// answered candidates keep their predictions (Unknown for the
 		// rest), per core.Resolve's partial contract.
-		rep.Result = res
+		rep.Result = rw.expand(res)
 		rep.Windows = 1
-		emitPairs(cfg, rep, candidates, res.Pred)
+		emitPairs(cfg, rep, candidates, rep.Result.Pred)
 		return rep, fmt.Errorf("pipeline: matching: %w", err)
 	}
-	rep.Result = res
+	rep.Result = rw.expand(res)
 	rep.Windows = 1
-	emitPairs(cfg, rep, candidates, res.Pred)
+	emitPairs(cfg, rep, candidates, rep.Result.Pred)
 	progress(cfg, Progress{
 		Blocked: len(candidates), BlockingDone: true,
 		Matched: len(candidates), Windows: 1, APIUSD: res.Ledger.API(),
@@ -415,9 +453,10 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 	wIdx, offset := 0, 0
 	for w := range windows {
 		win := w.pairs
+		rw := routeWindow(cfg.Prefilter, win)
 		pool := cfg.Pool
 		if pool == nil {
-			pool = win
+			pool = rw.amb
 		}
 		// Hand the producer-built profiles to the matcher's feature
 		// extraction; the cache dies with this iteration.
@@ -427,12 +466,12 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		var err error
 		var keys []string
 		if cfg.Journal != nil {
-			keys = pairKeys(win)
+			keys = pairKeys(rw.amb)
 			st := cfg.Journal.State()
 			if verr := verifyJournalWindow(st, wIdx, offset, keys); verr != nil {
 				return fail(fmt.Errorf("pipeline: %w", verr))
 			}
-			res, replayed = replayWindow(st, wIdx, len(win))
+			res, replayed = replayWindow(st, wIdx, len(rw.amb))
 			if !replayed {
 				// A started-but-unfinished window: account its journaled
 				// spend once, then re-resolve it below (free cache hits
@@ -440,21 +479,34 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 				mergePartialUsage(st, wIdx, agg)
 			}
 		}
-		if !replayed {
+		switch {
+		case replayed:
+			rep.Replayed += len(rw.amb)
+		case len(rw.amb) == 0:
+			// Fully auto-resolved window: no matcher invocation, but the
+			// journal still records it so window starts stay gap-free.
+			if cfg.Journal != nil {
+				jerr := cfg.Journal.WindowStart(runstore.WindowStart{Index: wIdx, Offset: offset})
+				if jerr != nil {
+					return fail(fmt.Errorf("pipeline: journal: %w", jerr))
+				}
+			}
+			res = &core.Result{}
+		default:
 			t1 := time.Now()
-			res, err = resolveJournaled(wctx, f, cfg.Journal, wIdx, offset, win, pool, keys)
+			res, err = resolveJournaled(wctx, f, cfg.Journal, wIdx, offset, rw.amb, pool, keys)
 			matchingTime += time.Since(t1)
-		} else {
-			rep.Replayed += len(win)
 		}
 		wIdx++
-		offset += len(win)
+		offset += len(rw.amb)
 		if res != nil {
 			// Fold in even a partially-answered window, so billed spend
 			// and answered predictions survive a mid-window failure.
-			foldWindow(agg, res, sharedLabeled)
-			emitPairs(cfg, rep, win, res.Pred)
+			full := rw.expand(res)
+			foldWindow(agg, full, sharedLabeled)
+			emitPairs(cfg, rep, win, full.Pred)
 			rep.Candidates += len(win)
+			rep.AutoResolved += rw.autoResolved()
 		}
 		if err != nil {
 			return fail(fmt.Errorf("pipeline: matching: %w", err))

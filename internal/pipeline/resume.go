@@ -32,6 +32,26 @@ func tableHash(tableA, tableB []entity.Record) string {
 	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
+// cascadeStamp fingerprints the run's cascade configuration: the
+// pre-filter's trained weights and thresholds plus the tier router's
+// cheap model and escalation margin. Empty when neither is in play, so
+// single-model journals keep their old fingerprints. A resume whose
+// stamp differs would replay routing and tier decisions the current
+// configuration would not make, so Compatible refuses it.
+func cascadeStamp(cfg Config, mc core.Config) string {
+	s := ""
+	if cfg.Prefilter != nil {
+		s = "pf=" + cfg.Prefilter.Fingerprint()
+	}
+	if mc.CheapModel != "" {
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("cheap=%s@%g", mc.CheapModel, mc.EscalateMargin)
+	}
+	return s
+}
+
 // runMeta builds the current run's fingerprint for journal stamping and
 // resume verification.
 func runMeta(cfg Config, f *core.Framework, tableA, tableB []entity.Record) runstore.RunMeta {
@@ -39,6 +59,7 @@ func runMeta(cfg Config, f *core.Framework, tableA, tableB []entity.Record) runs
 	return runstore.RunMeta{
 		RunID:        cfg.Journal.RunID(),
 		Model:        mc.Model,
+		Cascade:      cascadeStamp(cfg, mc),
 		Seed:         mc.Seed,
 		BatchSize:    mc.BatchSize,
 		NumDemos:     mc.NumDemos,
@@ -154,6 +175,8 @@ func journalBatch(j *runstore.Journal, wIdx int, keys []string, br core.BatchRes
 		OutputTokens: br.OutputTokens,
 		APIDollars:   br.Ledger.API(),
 		TrimmedDemos: br.TrimmedDemos,
+		Tier:         br.Tier,
+		Tiers:        br.Ledger.TierBreakdown(),
 	})
 }
 

@@ -55,6 +55,12 @@ type RunMeta struct {
 	RowsA     int    `json:"rows_a"`
 	RowsB     int    `json:"rows_b"`
 	TableHash string `json:"table_hash"`
+	// Cascade fingerprints the cascade configuration (pre-filter weights,
+	// thresholds, cheap model, escalation margin); empty on single-model
+	// runs, which keeps old journals compatible. Resuming a cascade run
+	// under different routing would replay tier decisions that the new
+	// configuration would not have made.
+	Cascade string `json:"cascade,omitempty"`
 	// CreatedUnix is when the journal was first written. Informational
 	// only; it does not participate in Compatible.
 	CreatedUnix int64 `json:"created_unix"`
@@ -107,11 +113,20 @@ type BatchDone struct {
 	// TrimmedDemos counts demonstrations dropped to fit the context
 	// window, preserved so resumed aggregate reports match.
 	TrimmedDemos int `json:"trimmed_demos,omitempty"`
+	// Tier names the tier that produced Pred on a cascade run ("cheap"
+	// or "expensive"); empty on single-model runs. Resume replays the
+	// recorded tier decision rather than re-deciding.
+	Tier string `json:"tier,omitempty"`
+	// Tiers is the batch's per-tier usage split (an escalated batch
+	// carries both a cheap and an expensive bucket); empty on
+	// single-model runs.
+	Tiers []cost.TierUsage `json:"tiers,omitempty"`
 }
 
-// Ledger reconstructs the batch's API cost delta.
+// Ledger reconstructs the batch's API cost delta, including the
+// per-tier split on cascade runs.
 func (b *BatchDone) Ledger() cost.Ledger {
-	return cost.RestoreAPI(b.Calls, b.InputTokens, b.OutputTokens, b.APIDollars)
+	return cost.RestoreAPITiered(b.Calls, b.InputTokens, b.OutputTokens, b.APIDollars, b.Tiers)
 }
 
 // journalRecord is the tagged union written to disk.
