@@ -71,6 +71,14 @@ type PipelineConfig struct {
 	// the partially answered window resumes for free. The caller owns
 	// the journal and must Close it after the run.
 	Journal *RunJournal
+	// Shard, if non-zero, runs only the candidate windows this shard
+	// owns: windows whose partition key hashes to Shard.Index modulo
+	// Shard.Count. Requires StreamWindow > 0 when Count > 1. Each shard
+	// needs its own Journal; crash and resume work per shard, and the
+	// shard spec is stamped into the journal fingerprint so a journal
+	// cannot be resumed under a different spec. Combine the completed
+	// shard journals with MergeShardRuns.
+	Shard ShardSpec
 }
 
 // PipelineReport is the outcome of RunPipeline.
@@ -113,6 +121,7 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, client Client, tableA,
 		Progress:        cfg.Progress,
 		OnPair:          cfg.OnPair,
 		Journal:         cfg.Journal,
+		Shard:           cfg.Shard,
 	}, client, tableA, tableB)
 }
 

@@ -1,0 +1,57 @@
+package batcher
+
+import (
+	"context"
+
+	"batcher/internal/shard"
+)
+
+// ShardSpec selects one shard of a partitioned run: candidate windows
+// whose partition key hashes to Index modulo Count. The zero value
+// means "not sharded". Set PipelineConfig.Shard to run one shard of a
+// candidate stream; run all Count shards (any order, any machines
+// sharing the filesystem view of the tables) and combine their
+// journals with MergeShardRuns.
+type ShardSpec = shard.Spec
+
+// ParseShardSpec parses the "i/N" form used by the -shard CLI flag
+// (for example "0/4") into a ShardSpec.
+func ParseShardSpec(s string) (ShardSpec, error) { return shard.Parse(s) }
+
+// ShardMergeSummary describes a completed MergeShardRuns.
+type ShardMergeSummary = shard.Summary
+
+// Typed refusals of MergeShardRuns, checkable with errors.Is. All are
+// raised before the output journal is written.
+var (
+	// ErrShardMeta: a journal's fingerprint is missing, not a shard
+	// fingerprint, or disagrees with the other shards' (different
+	// tables, model, seed, window size, pool mode, cascade).
+	ErrShardMeta = shard.ErrShardMeta
+	// ErrShardSet: the journals do not form one complete partition
+	// (wrong count, duplicate or missing shard indices).
+	ErrShardSet = shard.ErrShardSet
+	// ErrShardWindows: window coverage is broken — a window owned by
+	// the wrong shard, covered twice, or covered by no shard.
+	ErrShardWindows = shard.ErrShardWindows
+	// ErrShardIncomplete: a shard journal did not run to completion;
+	// resume that shard and merge again.
+	ErrShardIncomplete = shard.ErrShardIncomplete
+)
+
+// DiscoverShardRuns lists the shard journal directories under dir:
+// every immediate subdirectory holding journal segments, in lexical
+// order. A subdirectory named "merged" (the conventional output of a
+// previous merge) is skipped.
+func DiscoverShardRuns(dir string) ([]string, error) { return shard.Discover(dir) }
+
+// MergeShardRuns verifies that shardDirs are the complete set of
+// journals of one sharded run and rewrites them as a single journal
+// under outDir (which must be empty or absent). Replaying the merged
+// journal through RunPipeline — same tables and configuration, zero
+// ShardSpec — reproduces the uninterrupted single-process run byte for
+// byte, with zero LLM calls. Broken sets are refused with one of the
+// typed errors above before anything is written.
+func MergeShardRuns(ctx context.Context, shardDirs []string, outDir string) (*ShardMergeSummary, error) {
+	return shard.Merge(ctx, shardDirs, outDir)
+}

@@ -3,9 +3,15 @@
 // labels. Useful for inspecting the generated data or feeding it to other
 // tools.
 //
+// With -pairs N the dataset is resized to N pairs (N records per
+// table), keeping the domain's schema, hardness, and match rate: the
+// match count scales proportionally. Useful for sized smoke tests and
+// benchmarks that want a domain's character without Table II's bulk.
+//
 // Usage:
 //
 //	ergen -dataset WA -seed 1 -out ./data/wa
+//	ergen -dataset DS -pairs 500 -out ./data/ds500
 //	ergen -list
 package main
 
@@ -23,6 +29,8 @@ func main() {
 	dataset := flag.String("dataset", "", "dataset code (WA, AB, AG, DS, DA, FZ, IA, Beer)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", ".", "output directory")
+	pairs := flag.Int("pairs", 0,
+		"resize the dataset to this many pairs, scaling matches proportionally (0 = Table II size)")
 	list := flag.Bool("list", false, "list available datasets and exit")
 	flag.Parse()
 
@@ -37,10 +45,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ergen: -dataset is required (or -list)")
 		os.Exit(2)
 	}
-	d, err := datagen.GenerateByName(*dataset, *seed)
+	spec, err := datagen.Lookup(*dataset)
 	if err != nil {
 		fatal(err)
 	}
+	if *pairs > 0 {
+		// Keep the domain's match rate at the new size; at least one
+		// match so the tiny smoke datasets still exercise both labels.
+		matches := *pairs * spec.NumMatches / spec.NumPairs
+		if matches < 1 {
+			matches = 1
+		}
+		spec.NumPairs, spec.NumMatches = *pairs, matches
+	}
+	d := datagen.Generate(spec, *seed)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

@@ -42,6 +42,18 @@
 // -escalate-margin or the cheap tier answers Unknown. The final ledger
 // then reports spend per tier.
 //
+// With -shard i/N (plus -stream-window and -run-id), the process runs
+// only shard i of an N-way partition of the candidate stream: windows
+// whose partition key hashes to i modulo N. Run all N shards — any
+// order, any machines that see the same input tables — each with its
+// own -run-id journal; each shard crashes and resumes independently.
+// Then -merge-shards dir/ (where dir holds the N shard journal
+// directories) verifies the set and merges it into dir/merged, and
+// replays the merged journal to emit the same rows and ledger the
+// uninterrupted single-process run would have produced, with zero LLM
+// calls. The merge replay must be given the same tables and matcher
+// flags as the shards, or it fails with a fingerprint mismatch.
+//
 // Usage:
 //
 //	ermatch -a tableA.csv -b tableB.csv -attr title -out matches.csv
@@ -50,6 +62,8 @@
 //	ermatch -a big_a.csv -b big_b.csv -attr title -stream-window 512 -in-flight 4
 //	ermatch -a a.csv -b b.csv -run-id nightly -cache-dir .ermatch/cache
 //	ermatch -a a.csv -b b.csv -run-id nightly -resume -cache-dir .ermatch/cache
+//	ermatch -a a.csv -b b.csv -stream-window 512 -shard 0/3 -run-dir runs -run-id shard-0
+//	ermatch -a a.csv -b b.csv -stream-window 512 -merge-shards runs -out matches.csv
 package main
 
 import (
@@ -60,6 +74,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 
 	"batcher/batcher"
 )
@@ -97,11 +112,29 @@ func main() {
 		"cascade: cheap-tier model for the ambiguous band (empty = pre-filter only, no tiering)")
 	escalateMargin := flag.Float64("escalate-margin", 0,
 		"cascade: escalate a cheap-tier batch to -model when its vote-k margin is below this")
+	shardFlag := flag.String("shard", "",
+		"run only shard i/N of the candidate stream, e.g. 0/3 (needs -stream-window and -run-id)")
+	mergeShards := flag.String("merge-shards", "",
+		"merge the completed shard journals under this directory into <dir>/merged and replay the merged run (same tables and matcher flags as the shards)")
 	flag.Parse()
 
 	if *pathA == "" || *pathB == "" {
 		fmt.Fprintln(os.Stderr, "ermatch: -a and -b are required")
 		os.Exit(2)
+	}
+	var shardSpec batcher.ShardSpec
+	if *shardFlag != "" {
+		if *mergeShards != "" {
+			fatal(errors.New("-shard and -merge-shards are mutually exclusive"))
+		}
+		var err error
+		shardSpec, err = batcher.ParseShardSpec(*shardFlag)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -shard: %w", err))
+		}
+		if *runID == "" {
+			fatal(errors.New("-shard requires -run-id: each shard journals its own progress for the merge"))
+		}
 	}
 	tableA, err := batcher.ReadCSVTable(*pathA)
 	if err != nil {
@@ -173,14 +206,42 @@ func main() {
 	}
 
 	var journal *batcher.RunJournal
-	if *runID != "" {
+	runName := *runID
+	switch {
+	case *mergeShards != "":
+		if *runID != "" {
+			fatal(errors.New("-merge-shards and -run-id are mutually exclusive (the merged run is journaled as <dir>/merged)"))
+		}
+		shardDirs, err := batcher.DiscoverShardRuns(*mergeShards)
+		if err != nil {
+			fatal(fmt.Errorf("discovering shard journals under %s: %w", *mergeShards, err))
+		}
+		if len(shardDirs) == 0 {
+			fatal(fmt.Errorf("no shard journals found under %s", *mergeShards))
+		}
+		sum, err := batcher.MergeShardRuns(ctx, shardDirs, filepath.Join(*mergeShards, "merged"))
+		if err != nil {
+			fatal(fmt.Errorf("merging shard journals: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "ermatch: merged %d shard journals: %d windows, %d matcher pairs\n",
+			sum.Shards, sum.Windows, sum.Pairs)
+		// Replaying the merged journal through the ordinary resume path
+		// reproduces the single-process run's rows and ledger without an
+		// LLM call; the fingerprint check makes a flag mismatch loud.
+		runName = "merged"
+		journal, err = batcher.OpenRunJournal(ctx, *mergeShards, runName, true)
+		if err != nil {
+			fatal(fmt.Errorf("opening merged journal: %w", err))
+		}
+		defer journal.Close()
+	case *runID != "":
 		var err error
 		journal, err = batcher.OpenRunJournal(ctx, *runDir, *runID, *resume)
 		if err != nil {
 			fatal(fmt.Errorf("opening run journal %q: %w", *runID, err))
 		}
 		defer journal.Close()
-	} else if *resume {
+	case *resume:
 		fatal(errors.New("-resume requires -run-id"))
 	}
 
@@ -205,6 +266,7 @@ func main() {
 		StreamWindow:    *streamWindow,
 		InFlightWindows: *inFlight,
 		Journal:         journal,
+		Shard:           shardSpec,
 		Prefilter:       prefilter,
 		Matcher:         matcher,
 		// Rows stream out as each window's predictions land, so a huge
@@ -275,7 +337,7 @@ func main() {
 			// here: a mismatched journal gets an actionable hint instead
 			// of a buried error string.
 			if errors.Is(runErr, batcher.ErrRunMismatch) {
-				fmt.Fprintf(os.Stderr, "ermatch: journal %q was written by a different configuration (tables, model, seed, window, or pool mode); re-run with matching flags or pick a new -run-id\n", *runID)
+				fmt.Fprintf(os.Stderr, "ermatch: journal %q was written by a different configuration (tables, model, seed, window, shard, or pool mode); re-run with matching flags or pick a new -run-id\n", runName)
 			} else if *runID != "" {
 				fmt.Fprintf(os.Stderr, "ermatch: resume with: -run-id %s -resume\n", *runID)
 			}
@@ -289,7 +351,7 @@ func main() {
 	}
 	if rep.Replayed > 0 {
 		fmt.Fprintf(os.Stderr, "ermatch: %d of %d pairs replayed from run journal %q\n",
-			rep.Replayed, rep.Candidates, *runID)
+			rep.Replayed, rep.Candidates, runName)
 	}
 	if cache != nil {
 		h, m := cache.Stats()

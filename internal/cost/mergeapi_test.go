@@ -1,0 +1,137 @@
+package cost
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The shard-merge coordinator folds per-shard ledgers into one report
+// with MergeAPI, so its tier-bucket edges are pinned here: a tiered
+// ledger folding into an untiered one, empty (zero-window shard)
+// ledgers folding as no-ops, and bucket identity under fold order.
+
+func tieredLedger(cheapCalls, expCalls int) Ledger {
+	var l Ledger
+	p := Pricing{InputPer1K: 1, OutputPer1K: 2}
+	for i := 0; i < cheapCalls; i++ {
+		l.AddTierCall(TierCheap, p, 100, 10)
+	}
+	for i := 0; i < expCalls; i++ {
+		l.AddTierCall(TierExpensive, p, 200, 20)
+	}
+	return l
+}
+
+func TestMergeAPITieredIntoUntiered(t *testing.T) {
+	var agg Ledger
+	agg.AddCall(Pricing{InputPer1K: 1}, 50, 5) // untiered spend, no buckets
+	if agg.TierBreakdown() != nil {
+		t.Fatalf("untiered ledger has buckets: %v", agg.TierBreakdown())
+	}
+	other := tieredLedger(3, 2)
+	agg.MergeAPI(&other)
+
+	if got := agg.Calls(); got != 6 {
+		t.Fatalf("Calls = %d, want 6", got)
+	}
+	tiers := agg.TierBreakdown()
+	if len(tiers) != 2 {
+		t.Fatalf("TierBreakdown has %d buckets, want 2: %v", len(tiers), tiers)
+	}
+	// Buckets arrive sorted by name and carry only the tiered share: the
+	// aggregate's untiered call stays outside every bucket.
+	if tiers[0].Tier != TierCheap || tiers[0].Calls != 3 {
+		t.Fatalf("bucket 0 = %+v, want %s x3", tiers[0], TierCheap)
+	}
+	if tiers[1].Tier != TierExpensive || tiers[1].Calls != 2 {
+		t.Fatalf("bucket 1 = %+v, want %s x2", tiers[1], TierExpensive)
+	}
+	bucketCalls := tiers[0].Calls + tiers[1].Calls
+	if bucketCalls != 5 {
+		t.Fatalf("buckets hold %d calls, want the 5 tiered ones", bucketCalls)
+	}
+}
+
+func TestMergeAPIUntieredIntoTiered(t *testing.T) {
+	agg := tieredLedger(1, 1)
+	var flat Ledger
+	flat.AddCall(Pricing{InputPer1K: 1}, 10, 1)
+	agg.MergeAPI(&flat)
+	if got := agg.Calls(); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+	if tiers := agg.TierBreakdown(); len(tiers) != 2 {
+		t.Fatalf("untiered merge changed buckets: %v", tiers)
+	}
+}
+
+func TestMergeAPIEmptyShardIsNoOp(t *testing.T) {
+	// A shard that owned zero windows contributes a zero-value ledger;
+	// folding it must change nothing, in particular not materialize an
+	// empty tier slice on an untiered aggregate.
+	var empty Ledger
+	var agg Ledger
+	agg.MergeAPI(&empty)
+	if agg.Calls() != 0 || agg.API() != 0 || agg.TierBreakdown() != nil {
+		t.Fatalf("empty merge mutated the aggregate: %+v", agg)
+	}
+	tiered := tieredLedger(2, 1)
+	before := tiered.TierBreakdown()
+	tiered.MergeAPI(&empty)
+	if !reflect.DeepEqual(tiered.TierBreakdown(), before) {
+		t.Fatalf("empty merge changed buckets: %v != %v", tiered.TierBreakdown(), before)
+	}
+	// And the other direction: an empty aggregate absorbing a tiered
+	// shard becomes that shard exactly.
+	var agg2 Ledger
+	agg2.MergeAPI(&tiered)
+	if !reflect.DeepEqual(agg2.TierBreakdown(), tiered.TierBreakdown()) {
+		t.Fatalf("aggregate buckets %v != shard buckets %v", agg2.TierBreakdown(), tiered.TierBreakdown())
+	}
+	if agg2.Calls() != tiered.Calls() || agg2.API() != tiered.API() {
+		t.Fatalf("aggregate totals diverge: %d/$%v vs %d/$%v",
+			agg2.Calls(), agg2.API(), tiered.Calls(), tiered.API())
+	}
+}
+
+func TestMergeAPIBucketsOrderIndependent(t *testing.T) {
+	// Shards may merge in any discovery order; integer bucket counters
+	// must not care. (Dollars are floats and fold in journal order in
+	// real merges; integers are the order-independent part.)
+	a, b, c := tieredLedger(1, 0), tieredLedger(0, 2), tieredLedger(3, 3)
+	var ab Ledger
+	ab.MergeAPI(&a)
+	ab.MergeAPI(&b)
+	ab.MergeAPI(&c)
+	var ba Ledger
+	ba.MergeAPI(&c)
+	ba.MergeAPI(&b)
+	ba.MergeAPI(&a)
+	ta, tb := ab.TierBreakdown(), ba.TierBreakdown()
+	if len(ta) != len(tb) {
+		t.Fatalf("bucket counts differ: %v vs %v", ta, tb)
+	}
+	for i := range ta {
+		if ta[i].Tier != tb[i].Tier || ta[i].Calls != tb[i].Calls ||
+			ta[i].InputTokens != tb[i].InputTokens || ta[i].OutputTokens != tb[i].OutputTokens {
+			t.Fatalf("bucket %d differs across merge order: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestMergeAPIDoesNotAliasSource(t *testing.T) {
+	// MergeAPI must deep-fold the tier slice: growing the source ledger
+	// afterwards may not leak into the aggregate (and vice versa).
+	src := tieredLedger(1, 1)
+	var agg Ledger
+	agg.MergeAPI(&src)
+	src.AddTierCall(TierCheap, Pricing{InputPer1K: 1}, 1000, 100)
+	tiers := agg.TierBreakdown()
+	if tiers[0].Calls != 1 {
+		t.Fatalf("aggregate bucket mutated through the source: %+v", tiers[0])
+	}
+	agg.AddTierCall(TierExpensive, Pricing{InputPer1K: 1}, 1, 1)
+	if src.TierBreakdown()[1].Calls != 1 {
+		t.Fatalf("source bucket mutated through the aggregate: %+v", src.TierBreakdown())
+	}
+}

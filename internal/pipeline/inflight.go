@@ -14,14 +14,13 @@ import (
 )
 
 // inflight is one window travelling through the pipelined executor. The
-// dispatcher fills the identity fields (idx, offset, rw, keys) and
-// the journal decisions (verifyErr, replay); the runner goroutine fills
-// prepErr, stream, and results before closing prepped; the committer
-// reads everything after <-prepped. That close is the only
-// synchronization the struct needs.
+// dispatcher fills the identity fields (pos, rw, keys) and the journal
+// decisions (verifyErr, replay); the runner goroutine fills prepErr,
+// stream, and results before closing prepped; the committer reads
+// everything after <-prepped. That close is the only synchronization
+// the struct needs.
 type inflight struct {
-	idx    int
-	offset int
+	pos winPos
 	// rw is the cascade-routed window: rw.full is the blocked window,
 	// rw.amb the matcher's input (identical without a pre-filter). All
 	// journal coordinates (offset, keys) are over rw.amb.
@@ -181,9 +180,13 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	// committer receives it.
 	sem := make(chan struct{}, k)
 	ordered := make(chan *inflight, k)
+	// streamTotal/streamOwned are the dispatcher's final window counts,
+	// written before ordered closes and read only after its range ends.
+	var streamTotal, streamOwned int
 	go func() {
 		defer close(ordered)
-		wIdx, offset := 0, 0
+		wIdx, offset, gIdx := 0, 0, 0
+		defer func() { streamTotal, streamOwned = gIdx, wIdx }()
 		for {
 			// Admit before receiving: a flushed window waits in the
 			// producer's send until a slot frees, so at most K windows sit
@@ -200,6 +203,17 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			if !ok {
 				return
 			}
+			// The partition key is fixed before any routing: every shard
+			// walking this stream computes the same owner for this window.
+			key := w.pairs[0].Key()
+			if !cfg.Shard.Owns(key) {
+				// Not ours: hand the slot and buffer space back without
+				// spawning a runner; the window never reaches the committer.
+				buffered.Add(-int64(len(w.pairs)))
+				<-sem
+				gIdx++
+				continue
+			}
 			// Routing happens here, serially, so every window's ambiguous
 			// offset is fixed before the next window is admitted — the
 			// journal coordinates cannot depend on runner timing.
@@ -208,10 +222,15 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			if pool == nil {
 				pool = rw.amb
 			}
-			iw := &inflight{idx: wIdx, offset: offset, rw: rw, prepped: make(chan struct{})}
+			iw := &inflight{
+				pos:     winPos{idx: wIdx, offset: offset, global: gIdx, key: key},
+				rw:      rw,
+				prepped: make(chan struct{}),
+			}
+			gIdx++
 			if cfg.Journal != nil {
 				iw.keys = pairKeys(rw.amb)
-				if err := verifyJournalWindow(jstate, wIdx, offset, iw.keys); err != nil {
+				if err := verifyJournalWindow(jstate, iw.pos, iw.keys); err != nil {
 					iw.verifyErr = err
 				} else if res, ok := replayWindow(jstate, wIdx, len(rw.amb)); ok {
 					iw.replay = res
@@ -257,22 +276,17 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 				// gap-free.
 				if cfg.Journal != nil && iw.verifyErr == nil && iw.replay == nil &&
 					iw.prepErr == nil && len(iw.rw.amb) == 0 {
-					cfg.Journal.WindowStart(runstore.WindowStart{Index: iw.idx, Offset: iw.offset})
+					cfg.Journal.WindowStart(iw.pos.startRecord(0, nil))
 				}
 				continue
 			}
 			if cfg.Journal != nil && iw.verifyErr == nil {
-				werr := cfg.Journal.WindowStart(runstore.WindowStart{
-					Index:   iw.idx,
-					Offset:  iw.offset,
-					Size:    len(iw.rw.amb),
-					Labeled: iw.stream.LabeledPool(),
-				})
+				werr := cfg.Journal.WindowStart(iw.pos.startRecord(len(iw.rw.amb), iw.stream.LabeledPool()))
 				for br := range iw.results {
 					if werr != nil {
 						continue // keep draining un-journaled
 					}
-					werr = journalBatch(cfg.Journal, iw.idx, iw.keys, br)
+					werr = journalBatch(cfg.Journal, iw.pos.idx, iw.keys, br)
 				}
 			}
 			for range iw.results { // drain whatever journaling left behind
@@ -326,7 +340,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			// still records its empty start so window starts stay gap-free.
 			<-iw.prepped
 			if cfg.Journal != nil {
-				err := cfg.Journal.WindowStart(runstore.WindowStart{Index: iw.idx, Offset: iw.offset})
+				err := cfg.Journal.WindowStart(iw.pos.startRecord(0, nil))
 				if err != nil {
 					return abandon(fmt.Errorf("pipeline: journal: %w", err))
 				}
@@ -344,19 +358,14 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			// account its journaled spend once before the re-run's results
 			// (free cache hits with a persistent cache) fold in — the same
 			// numeric order the sequential executor uses.
-			mergePartialUsage(jstate, iw.idx, agg)
+			mergePartialUsage(jstate, iw.pos.idx, agg)
 		}
 		<-iw.prepped
 		if iw.prepErr != nil {
 			return abandon(fmt.Errorf("pipeline: matching: %w", iw.prepErr))
 		}
 		if cfg.Journal != nil {
-			err := cfg.Journal.WindowStart(runstore.WindowStart{
-				Index:   iw.idx,
-				Offset:  iw.offset,
-				Size:    len(iw.rw.amb),
-				Labeled: iw.stream.LabeledPool(),
-			})
+			err := cfg.Journal.WindowStart(iw.pos.startRecord(len(iw.rw.amb), iw.stream.LabeledPool()))
 			if err != nil {
 				iw.stream.Close()
 				for range iw.results {
@@ -369,7 +378,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		for br := range iw.results {
 			res.Apply(br)
 			if cfg.Journal != nil {
-				if err := journalBatch(cfg.Journal, iw.idx, iw.keys, br); err != nil {
+				if err := journalBatch(cfg.Journal, iw.pos.idx, iw.keys, br); err != nil {
 					iw.stream.Close()
 					for range iw.results {
 					}
@@ -404,8 +413,12 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		return rep, err
 	default:
 	}
+	rep.WindowsTotal = streamTotal
+	if err := journalDone(cfg.Journal, streamTotal, streamOwned); err != nil {
+		return rep, fmt.Errorf("pipeline: journal: %w", err)
+	}
 	progress(cfg, Progress{
-		Blocked: rep.Candidates, BlockingDone: true,
+		Blocked: int(blocked.Load()), BlockingDone: true,
 		Matched: rep.Candidates, Replayed: rep.Replayed,
 		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
 	})

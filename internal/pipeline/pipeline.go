@@ -37,6 +37,7 @@ import (
 	"batcher/internal/feature"
 	"batcher/internal/llm"
 	"batcher/internal/runstore"
+	"batcher/internal/shard"
 )
 
 // Config wires the two stages together.
@@ -106,6 +107,18 @@ type Config struct {
 	// actually matched. Resuming under a different pre-filter or tier
 	// configuration fails with runstore.ErrRunMismatch.
 	Prefilter *cascade.Prefilter
+	// Shard, when enabled (Count > 0), restricts the run to the windows
+	// the spec owns: the candidate stream is walked in full, each window
+	// is assigned by hashing its first pair's key (shard.Assign), and
+	// non-owned windows are skipped without routing, matching, or
+	// journaling. Journal coordinates become shard-local — the journal
+	// records only owned windows, each stamped with its global stream
+	// position and partition key — and the spec is fingerprinted into
+	// RunMeta, so resuming under a different spec fails with
+	// runstore.ErrRunMismatch. Count > 1 requires StreamWindow > 0
+	// (collected mode is a single window; there is nothing to split).
+	// The merge half lives in internal/shard.
+	Shard shard.Spec
 	// Journal, if non-nil, records the run durably and enables resume.
 	// A fresh journal is stamped with the run's fingerprint (matcher
 	// config, window size, pool mode, table hash); an already-populated
@@ -166,8 +179,14 @@ type Report struct {
 	// than the run's elapsed time.
 	BlockingTime, MatchingTime time.Duration
 	// Windows is the number of candidate windows matched (1 in collected
-	// mode, 0 when blocking found nothing).
+	// mode, 0 when blocking found nothing). On a shard run it counts only
+	// the windows this shard owns.
 	Windows int
+	// WindowsTotal is the total number of windows the candidate stream
+	// produced, owned or not. It equals Windows except on shard runs,
+	// and is set only when the run completes (partial reports leave it
+	// zero).
+	WindowsTotal int
 	// PeakBuffered is the high-water mark of candidate pairs buffered
 	// between the blocking and matching stages. Windowed runs keep it at
 	// or below StreamWindow; collected runs buffer everything.
@@ -204,6 +223,14 @@ func Run(ctx context.Context, cfg Config, client llm.Client, tableA, tableB []en
 	blocker := cfg.Blocker
 	if blocker == nil {
 		blocker = &blocking.TokenBlocker{MinShared: 2, MaxPostings: 512}
+	}
+	if cfg.Shard.Enabled() {
+		if err := cfg.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if cfg.Shard.Count > 1 && cfg.StreamWindow <= 0 {
+			return nil, fmt.Errorf("pipeline: shard %s requires StreamWindow > 0 (collected mode is a single window)", cfg.Shard)
+		}
 	}
 	f := core.NewFromConfig(client, cfg.Matcher)
 	if err := prepareJournal(cfg, f, tableA, tableB); err != nil {
@@ -264,8 +291,12 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	}
 	if len(candidates) == 0 {
 		rep.Result = &core.Result{}
+		if err := journalDone(cfg.Journal, 0, 0); err != nil {
+			return rep, fmt.Errorf("pipeline: journal: %w", err)
+		}
 		return rep, nil
 	}
+	pos := winPos{key: candidates[0].Key()}
 	rw := routeWindow(cfg.Prefilter, candidates)
 	rep.AutoResolved = rw.autoResolved()
 	pool := cfg.Pool
@@ -276,15 +307,19 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	if cfg.Journal != nil {
 		keys = pairKeys(rw.amb)
 		st := cfg.Journal.State()
-		if err := verifyJournalWindow(st, 0, 0, keys); err != nil {
+		if err := verifyJournalWindow(st, pos, keys); err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
 		if res, ok := replayWindow(st, 0, len(rw.amb)); ok {
 			full := rw.expand(res)
 			rep.Result = full
 			rep.Windows = 1
+			rep.WindowsTotal = 1
 			rep.Replayed = len(rw.amb)
 			emitPairs(cfg, rep, candidates, full.Pred)
+			if err := journalDone(cfg.Journal, 1, 1); err != nil {
+				return rep, fmt.Errorf("pipeline: journal: %w", err)
+			}
 			progress(cfg, Progress{
 				Blocked: len(candidates), BlockingDone: true,
 				Matched: len(candidates), Replayed: rep.Replayed,
@@ -298,13 +333,17 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		// journal still records the (empty) window so the run stays a
 		// contiguous, resumable prefix.
 		if cfg.Journal != nil {
-			if err := cfg.Journal.WindowStart(runstore.WindowStart{}); err != nil {
+			if err := cfg.Journal.WindowStart(pos.startRecord(0, nil)); err != nil {
 				return nil, fmt.Errorf("pipeline: journal: %w", err)
 			}
 		}
 		rep.Result = rw.expand(&core.Result{})
 		rep.Windows = 1
+		rep.WindowsTotal = 1
 		emitPairs(cfg, rep, candidates, rep.Result.Pred)
+		if err := journalDone(cfg.Journal, 1, 1); err != nil {
+			return rep, fmt.Errorf("pipeline: journal: %w", err)
+		}
 		progress(cfg, Progress{
 			Blocked: len(candidates), BlockingDone: true,
 			Matched: len(candidates), Windows: 1,
@@ -312,7 +351,7 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		return rep, nil
 	}
 	t1 := time.Now()
-	res, err := resolveJournaled(ctx, f, cfg.Journal, 0, 0, rw.amb, pool, keys)
+	res, err := resolveJournaled(ctx, f, cfg.Journal, pos, rw.amb, pool, keys)
 	rep.MatchingTime = time.Since(t1)
 	if res != nil && cfg.Journal != nil {
 		// Fold in what a previous, interrupted attempt already billed for
@@ -335,12 +374,26 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	}
 	rep.Result = rw.expand(res)
 	rep.Windows = 1
+	rep.WindowsTotal = 1
 	emitPairs(cfg, rep, candidates, rep.Result.Pred)
+	if err := journalDone(cfg.Journal, 1, 1); err != nil {
+		return rep, fmt.Errorf("pipeline: journal: %w", err)
+	}
 	progress(cfg, Progress{
 		Blocked: len(candidates), BlockingDone: true,
 		Matched: len(candidates), Windows: 1, APIUSD: res.Ledger.API(),
 	})
 	return rep, nil
+}
+
+// journalDone stamps the journal's terminal record once a run has seen
+// the whole candidate stream and committed every window it owns. Nil
+// journals and already-terminated journals are no-ops.
+func journalDone(j *runstore.Journal, total, owned int) error {
+	if j == nil {
+		return nil
+	}
+	return j.Done(runstore.RunDone{Windows: total, Owned: owned})
 }
 
 // window is one producer-to-consumer handoff: the buffered candidate
@@ -450,9 +503,18 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		rep.PeakBuffered = peak
 		return rep, err
 	}
-	wIdx, offset := 0, 0
+	wIdx, offset, gIdx := 0, 0, 0
 	for w := range windows {
 		win := w.pairs
+		// The partition key is fixed before any routing: every shard
+		// walking this stream computes the same owner for this window.
+		key := win[0].Key()
+		if !cfg.Shard.Owns(key) {
+			gIdx++
+			continue
+		}
+		pos := winPos{idx: wIdx, offset: offset, global: gIdx, key: key}
+		gIdx++
 		rw := routeWindow(cfg.Prefilter, win)
 		pool := cfg.Pool
 		if pool == nil {
@@ -468,7 +530,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		if cfg.Journal != nil {
 			keys = pairKeys(rw.amb)
 			st := cfg.Journal.State()
-			if verr := verifyJournalWindow(st, wIdx, offset, keys); verr != nil {
+			if verr := verifyJournalWindow(st, pos, keys); verr != nil {
 				return fail(fmt.Errorf("pipeline: %w", verr))
 			}
 			res, replayed = replayWindow(st, wIdx, len(rw.amb))
@@ -486,7 +548,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 			// Fully auto-resolved window: no matcher invocation, but the
 			// journal still records it so window starts stay gap-free.
 			if cfg.Journal != nil {
-				jerr := cfg.Journal.WindowStart(runstore.WindowStart{Index: wIdx, Offset: offset})
+				jerr := cfg.Journal.WindowStart(pos.startRecord(0, nil))
 				if jerr != nil {
 					return fail(fmt.Errorf("pipeline: journal: %w", jerr))
 				}
@@ -494,7 +556,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 			res = &core.Result{}
 		default:
 			t1 := time.Now()
-			res, err = resolveJournaled(wctx, f, cfg.Journal, wIdx, offset, rw.amb, pool, keys)
+			res, err = resolveJournaled(wctx, f, cfg.Journal, pos, rw.amb, pool, keys)
 			matchingTime += time.Since(t1)
 		}
 		wIdx++
@@ -534,8 +596,12 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		return rep, err
 	default:
 	}
+	rep.WindowsTotal = gIdx
+	if err := journalDone(cfg.Journal, gIdx, wIdx); err != nil {
+		return rep, fmt.Errorf("pipeline: journal: %w", err)
+	}
 	progress(cfg, Progress{
-		Blocked: rep.Candidates, BlockingDone: true,
+		Blocked: int(blocked.Load()), BlockingDone: true,
 		Matched: rep.Candidates, Replayed: rep.Replayed,
 		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
 	})

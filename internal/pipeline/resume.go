@@ -52,6 +52,20 @@ func cascadeStamp(cfg Config, mc core.Config) string {
 	return s
 }
 
+// shardStamp fingerprints the run's shard assignment: empty on
+// unsharded runs (keeping old journals compatible), "i/N" on shard
+// runs. Combined with TableHash and StreamWindow — both already in the
+// meta — it pins the partition completely: which windows of which
+// stream this journal owns. A resume under a different spec would
+// execute (and journal) a different window subset, so Compatible
+// refuses it.
+func shardStamp(cfg Config) string {
+	if !cfg.Shard.Enabled() {
+		return ""
+	}
+	return cfg.Shard.String()
+}
+
 // runMeta builds the current run's fingerprint for journal stamping and
 // resume verification.
 func runMeta(cfg Config, f *core.Framework, tableA, tableB []entity.Record) runstore.RunMeta {
@@ -60,6 +74,7 @@ func runMeta(cfg Config, f *core.Framework, tableA, tableB []entity.Record) runs
 		RunID:        cfg.Journal.RunID(),
 		Model:        mc.Model,
 		Cascade:      cascadeStamp(cfg, mc),
+		Shard:        shardStamp(cfg),
 		Seed:         mc.Seed,
 		BatchSize:    mc.BatchSize,
 		NumDemos:     mc.NumDemos,
@@ -107,16 +122,50 @@ func pairKeys(win []entity.Pair) []string {
 	return keys
 }
 
-// verifyJournalWindow checks that journaled records for window wIdx line
-// up with the live stream's window: same position, same size, same pairs.
-func verifyJournalWindow(st *runstore.RunState, wIdx, offset int, keys []string) error {
-	if ws, ok := st.WindowStart(wIdx); ok {
-		if ws.Offset != offset || ws.Size != len(keys) {
+// winPos locates one window in both coordinate systems a journaled run
+// uses: idx/offset are journal-local (counting only the windows this
+// run owns — identical to the global position on unsharded runs), while
+// global and key record the window's place in the full candidate
+// stream and the partition key that assigned it here.
+type winPos struct {
+	idx    int    // journal-local window ordinal
+	offset int    // journal-local ambiguous-pair offset
+	global int    // ordinal in the full candidate stream
+	key    string // partition key: the window's first candidate pair key
+}
+
+// startRecord builds the window's journal start record from its
+// position and matcher-facing layout.
+func (p winPos) startRecord(size int, labeled []int) runstore.WindowStart {
+	return runstore.WindowStart{
+		Index:   p.idx,
+		Offset:  p.offset,
+		Size:    size,
+		Labeled: labeled,
+		Global:  p.global,
+		Key:     p.key,
+	}
+}
+
+// verifyJournalWindow checks that journaled records for the window line
+// up with the live stream's window: same position (local and global),
+// same partition key, same size, same pairs.
+func verifyJournalWindow(st *runstore.RunState, pos winPos, keys []string) error {
+	if ws, ok := st.WindowStart(pos.idx); ok {
+		if ws.Offset != pos.offset || ws.Size != len(keys) {
 			return fmt.Errorf("%w: window %d journaled at offset %d size %d, stream has offset %d size %d",
-				runstore.ErrRunMismatch, wIdx, ws.Offset, ws.Size, offset, len(keys))
+				runstore.ErrRunMismatch, pos.idx, ws.Offset, ws.Size, pos.offset, len(keys))
+		}
+		if ws.Key != "" && ws.Key != pos.key {
+			return fmt.Errorf("%w: window %d journaled with partition key %q, stream has %q",
+				runstore.ErrRunMismatch, pos.idx, ws.Key, pos.key)
+		}
+		if ws.Key != "" && ws.Global != pos.global {
+			return fmt.Errorf("%w: window %d journaled at stream position %d, stream has %d",
+				runstore.ErrRunMismatch, pos.idx, ws.Global, pos.global)
 		}
 	}
-	return st.VerifyWindowKeys(wIdx, keys)
+	return st.VerifyWindowKeys(pos.idx, keys)
 }
 
 // replayWindow reconstructs a fully journaled window's result without
@@ -188,7 +237,7 @@ func journalBatch(j *runstore.Journal, wIdx int, keys []string, br core.BatchRes
 // journal write failure stops the run the same way (the spend already
 // made is in the partial result, and everything journaled so far
 // remains replayable).
-func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journal, wIdx, offset int, win, pool []entity.Pair, keys []string) (*core.Result, error) {
+func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journal, pos winPos, win, pool []entity.Pair, keys []string) (*core.Result, error) {
 	if j == nil {
 		return f.Resolve(ctx, win, pool)
 	}
@@ -196,12 +245,7 @@ func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journa
 	if err != nil {
 		return nil, err
 	}
-	err = j.WindowStart(runstore.WindowStart{
-		Index:   wIdx,
-		Offset:  offset,
-		Size:    len(win),
-		Labeled: stream.LabeledPool(),
-	})
+	err = j.WindowStart(pos.startRecord(len(win), stream.LabeledPool()))
 	if err != nil {
 		stream.Close()
 		return nil, fmt.Errorf("journal: %w", err)
@@ -209,7 +253,7 @@ func resolveJournaled(ctx context.Context, f *core.Framework, j *runstore.Journa
 	res := stream.NewResult()
 	for br := range stream.All() {
 		res.Apply(br)
-		if err := journalBatch(j, wIdx, keys, br); err != nil {
+		if err := journalBatch(j, pos.idx, keys, br); err != nil {
 			stream.Close()
 			return res, fmt.Errorf("journal: %w", err)
 		}

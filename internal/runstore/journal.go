@@ -61,6 +61,13 @@ type RunMeta struct {
 	// under different routing would replay tier decisions that the new
 	// configuration would not have made.
 	Cascade string `json:"cascade,omitempty"`
+	// Shard fingerprints the partition this journal covers, in "i/N"
+	// form; empty on unsharded runs. Together with TableHash and
+	// StreamWindow it pins the full partition: which windows of which
+	// candidate stream this shard owns. Resuming under a different
+	// shard spec fails with ErrRunMismatch, and the merge coordinator
+	// requires all N shard stamps before combining journals.
+	Shard string `json:"shard,omitempty"`
 	// CreatedUnix is when the journal was first written. Informational
 	// only; it does not participate in Compatible.
 	CreatedUnix int64 `json:"created_unix"`
@@ -86,6 +93,30 @@ type WindowStart struct {
 	// Labeled lists the annotated pool indices — pool-global under a
 	// shared pool, window-local otherwise.
 	Labeled []int `json:"labeled,omitempty"`
+	// Global is the window's ordinal in the full candidate stream. On
+	// unsharded runs it equals Index; on a shard run Index counts only
+	// the windows this shard owns while Global keeps the stream
+	// position, which is what lets the merge coordinator reassemble N
+	// shard journals into one stream-ordered journal.
+	Global int `json:"global,omitempty"`
+	// Key is the window's partition key: the pair key of its first
+	// candidate (before any cascade routing). The shard assignment is a
+	// pure function of Key, so the coordinator can re-verify that every
+	// journaled window really belongs to the shard that recorded it.
+	Key string `json:"key,omitempty"`
+}
+
+// RunDone is the journal's terminal record: the run saw the whole
+// candidate stream and journaled every window it owned. Shard merging
+// requires it — without a terminal record a journal that simply stops
+// is indistinguishable from one that crashed before its last windows.
+type RunDone struct {
+	// Windows is the total number of windows in the candidate stream,
+	// owned or not. Every shard of one run must agree on it.
+	Windows int `json:"windows"`
+	// Owned is the number of windows this run journaled (equal to
+	// Windows on unsharded runs).
+	Owned int `json:"owned"`
 }
 
 // BatchDone records one completed (billed and answered) batch: the unit
@@ -134,6 +165,7 @@ type journalRecord struct {
 	Meta   *RunMeta     `json:"meta,omitempty"`
 	Window *WindowStart `json:"window,omitempty"`
 	Batch  *BatchDone   `json:"batch,omitempty"`
+	Done   *RunDone     `json:"done,omitempty"`
 }
 
 // windowState groups the journaled records of one window.
@@ -150,6 +182,7 @@ type windowState struct {
 type RunState struct {
 	meta    *RunMeta
 	windows map[int]*windowState
+	done    *RunDone
 }
 
 // Meta returns the journaled run fingerprint, if any.
@@ -160,9 +193,47 @@ func (s *RunState) Meta() (RunMeta, bool) {
 	return *s.meta, true
 }
 
+// Done returns the journal's terminal record, if the run it records ran
+// to completion.
+func (s *RunState) Done() (RunDone, bool) {
+	if s == nil || s.done == nil {
+		return RunDone{}, false
+	}
+	return *s.done, true
+}
+
 // Empty reports whether the journal held no records at all.
 func (s *RunState) Empty() bool {
-	return s == nil || (s.meta == nil && len(s.windows) == 0)
+	return s == nil || (s.meta == nil && len(s.windows) == 0 && s.done == nil)
+}
+
+// Windows returns the number of windows with journaled records.
+func (s *RunState) Windows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.windows)
+}
+
+// WindowBatches returns window i's journaled batch records in ascending
+// batch order. The merge coordinator uses it to re-journal a shard's
+// windows under their global coordinates; the records are copies safe
+// to modify.
+func (s *RunState) WindowBatches(i int) []BatchDone {
+	w := s.window(i)
+	if w == nil || len(w.batches) == 0 {
+		return nil
+	}
+	order := make([]int, 0, len(w.batches))
+	for bi := range w.batches {
+		order = append(order, bi)
+	}
+	sort.Ints(order)
+	out := make([]BatchDone, 0, len(order))
+	for _, bi := range order {
+		out = append(out, *w.batches[bi])
+	}
+	return out
 }
 
 func (s *RunState) window(i int) *windowState {
@@ -287,6 +358,7 @@ type Journal struct {
 	state *RunState
 	seen  map[batchKey]bool
 	wseen map[int]bool
+	dseen bool
 }
 
 // OpenJournal opens (creating if necessary) the run journal stored in
@@ -332,6 +404,10 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 				w.batches[rec.Batch.Batch] = rec.Batch
 				seen[k] = true
 			}
+		case rec.Done != nil:
+			if state.done == nil { // first wins
+				state.done = rec.Done
+			}
 		}
 		return nil
 	})
@@ -344,6 +420,7 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 		state: state,
 		seen:  seen,
 		wseen: wseen,
+		dseen: state.done != nil,
 	}, nil
 }
 
@@ -406,6 +483,25 @@ func (j *Journal) BatchDone(b BatchDone) error {
 	}
 	j.seen[k] = true
 	return j.log.append(journalRecord{Batch: &b})
+}
+
+// Done journals the run's terminal record: the whole candidate stream
+// was seen and every owned window is journaled. Idempotent — a resumed
+// complete run re-announcing completion is a no-op, so the first
+// record's counts survive arbitrarily many crash/resume cycles. The
+// record is synced immediately: completion is the one fact the merge
+// coordinator cannot infer from a torn tail.
+func (j *Journal) Done(d RunDone) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dseen {
+		return nil
+	}
+	if err := j.log.append(journalRecord{Done: &d}); err != nil {
+		return err
+	}
+	j.dseen = true
+	return j.log.sync()
 }
 
 // Sync forces buffered records to durable storage immediately instead of

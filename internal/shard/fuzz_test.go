@@ -1,0 +1,152 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"batcher/internal/runstore"
+	"batcher/internal/shard"
+)
+
+// FuzzShardMerge throws deformed shard sets at the merge coordinator.
+// The input bytes select a mutation and shape a synthetic partition;
+// the property under test is the coordinator's refusal contract: a
+// valid set merges, a broken one fails with one of the typed errors
+// (ErrShardMeta, ErrShardSet, ErrShardWindows, ErrShardIncomplete) —
+// never a panic, never a silent merge.
+//
+// Mutations: 0 valid set, 1 duplicate shard index, 2 wrong shard
+// count, 3 dropped window, 4 overlapping coverage, 5 mismatched seed
+// fingerprint, 6 missing terminal record, 7 raw bytes appended to a
+// segment (storage-layer territory: any error is acceptable, only
+// panics and silent corruption are not), 8 window re-keyed into the
+// wrong shard.
+func FuzzShardMerge(f *testing.F) {
+	for mut := byte(0); mut <= 8; mut++ {
+		f.Add([]byte{mut, 2, 4, 0xBA, 0xD5, 0xEE, 0xD5})
+	}
+	f.Add([]byte{0, 0, 0})          // 1 shard, 0 windows
+	f.Add([]byte{4, 3, 6, 1, 2, 3}) // overlap in a wide set
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		mut := int(data[0]) % 9
+		n := 1 + int(data[1])%4
+		total := int(data[2]) % 7
+		if mut != 0 && mut != 7 {
+			// Every structural mutation needs a second shard to collide
+			// with and at least one window to deform.
+			if n < 2 {
+				n = 2
+			}
+			if total < 1 {
+				total = 1
+			}
+		}
+		wins := streamWindows(total, n)
+		owned := make([][]fwin, n)
+		for _, w := range wins {
+			owned[owner(w, n)] = append(owned[owner(w, n)], w)
+		}
+		// busiest owns window 0 and therefore at least one window.
+		busiest := 0
+		if total > 0 {
+			busiest = owner(wins[0], n)
+		}
+
+		dir := t.TempDir()
+		dirs := make([]string, n)
+		for i := 0; i < n; i++ {
+			dirs[i] = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+			meta := baseMeta()
+			meta.Shard = shard.Spec{Index: i, Count: n}.String()
+			w := owned[i]
+			done := &runstore.RunDone{Windows: total, Owned: len(w)}
+			switch mut {
+			case 1:
+				if i == 1 {
+					meta.Shard = shard.Spec{Index: 0, Count: n}.String()
+				}
+			case 2:
+				if i == 0 {
+					meta.Shard = shard.Spec{Index: 0, Count: n + 1}.String()
+				}
+			case 3:
+				if i == busiest {
+					w = w[:len(w)-1]
+					done.Owned--
+				}
+			case 4:
+				if i == (busiest+1)%n {
+					w = append(append([]fwin(nil), w...), wins[0])
+					done.Owned++
+				}
+			case 5:
+				if i == 1 {
+					meta.Seed = int64(data[len(data)-1]) + 1000
+				}
+			case 6:
+				if i == busiest {
+					done = nil
+				}
+			case 8:
+				if i == busiest {
+					w = append([]fwin(nil), w...)
+					// Re-key window 0 until it hashes to a different shard.
+					for s := 0; ; s++ {
+						k := fmt.Sprintf("stolen%d|x", s)
+						if shard.Assign(k, n) != i {
+							w[0].key = k
+							break
+						}
+					}
+				}
+			}
+			writeShard(t, dirs[i], meta, w, done)
+		}
+		if mut == 7 {
+			// Append raw fuzz bytes to the first shard's newest segment:
+			// the storage layer must either tolerate it as a torn tail or
+			// refuse it cleanly.
+			segs, err := filepath.Glob(filepath.Join(dirs[0], "journal-*.jsonl"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments to corrupt: %v", err)
+			}
+			fh, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fh.Write(data[3:])
+			fh.Close()
+		}
+
+		sum, err := shard.Merge(context.Background(), dirs, filepath.Join(dir, "merged"))
+		typed := errors.Is(err, shard.ErrShardMeta) || errors.Is(err, shard.ErrShardSet) ||
+			errors.Is(err, shard.ErrShardWindows) || errors.Is(err, shard.ErrShardIncomplete)
+		switch {
+		case mut == 0:
+			if err != nil {
+				t.Fatalf("valid %d-shard set refused: %v", n, err)
+			}
+			if sum.Windows != total {
+				t.Fatalf("merged %d windows, want %d", sum.Windows, total)
+			}
+		case mut == 7:
+			// Trailing garbage on the newest segment is indistinguishable
+			// from a torn crash tail, so success is legitimate; a failure
+			// must be an ordinary error (the harness catches panics).
+		default:
+			if err == nil {
+				t.Fatalf("mutation %d silently merged (%d shards, %d windows)", mut, n, total)
+			}
+			if !typed {
+				t.Fatalf("mutation %d: untyped error %v", mut, err)
+			}
+		}
+	})
+}

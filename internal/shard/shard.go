@@ -1,0 +1,97 @@
+// Package shard partitions one resolution run across processes. The
+// paper's batched-ICL matching is embarrassingly parallel across the
+// candidate stream, but a single windowed pipeline tops out at one
+// machine; this package supplies the two halves of the distributed
+// story:
+//
+//   - a deterministic partitioner (Spec, Assign) that splits the
+//     pipeline's window stream by blocking-key hash into shard i of N,
+//     with a stable, order-preserving assignment — every shard walks
+//     the same candidate stream and executes exactly the windows it
+//     owns, in global stream order, journaling them to its own run
+//     journal with crash+resume semantics intact; and
+//
+//   - a merge coordinator (Merge) that verifies the N shard journals
+//     form one coherent partition of one run — same fingerprint, shard
+//     indices 0..N-1 exactly once, globally contiguous and disjoint
+//     window coverage, every window fully journaled — and rewrites
+//     them as a single journal in global coordinates. Replaying that
+//     merged journal through the pipeline reproduces the uninterrupted
+//     single-process run byte for byte: predictions, per-tier ledger
+//     buckets, auto-resolved counts, with zero LLM calls.
+//
+// The unit of partition is the stream window, not the individual pair:
+// per-window resolution is a pure function of the window's contents
+// (and the shared pool), so executing a subset of windows reproduces
+// exactly the results the single-process run computes for them. A
+// pair-granular split would recompose the windows and change batching
+// and demonstration selection, destroying the equivalence that makes
+// sharded runs verifiable.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Spec names one shard of a partitioned run: shard Index of Count. The
+// zero value (Count == 0) means sharding is disabled.
+type Spec struct {
+	// Index is the shard ordinal, in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 disables sharding.
+	Count int
+}
+
+// Enabled reports whether the spec selects a shard (Count > 0).
+func (s Spec) Enabled() bool { return s.Count > 0 }
+
+// Validate checks the spec's invariants: Count >= 1 and Index in range.
+func (s Spec) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("shard: count %d < 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("shard: index %d outside [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the spec in the canonical "i/N" form used on the
+// command line and in journal fingerprints.
+func (s Spec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// Parse reads a "i/N" spec, the inverse of String.
+func Parse(text string) (Spec, error) {
+	var s Spec
+	if _, err := fmt.Sscanf(text, "%d/%d", &s.Index, &s.Count); err != nil {
+		return Spec{}, fmt.Errorf("shard: spec %q is not of the form i/N: %w", text, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("shard: spec %q: %w", text, err)
+	}
+	return s, nil
+}
+
+// Assign maps a window's partition key — the blocking-key identity of
+// its first candidate pair — to a shard in [0, n). The hash is FNV-64a
+// over the key bytes, so the assignment is stable across processes,
+// machines, and runs: every worker walking the same candidate stream
+// computes the same owner for every window.
+func Assign(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Owns reports whether this shard owns the window with the given
+// partition key. A disabled spec owns everything.
+func (s Spec) Owns(key string) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return Assign(key, s.Count) == s.Index
+}
