@@ -1,0 +1,161 @@
+package batcher
+
+import (
+	"time"
+
+	"batcher/internal/core"
+	"batcher/internal/cost"
+	"batcher/internal/llm"
+)
+
+// Fault-tolerant transport. The resilience middleware composes around
+// any Client, innermost first:
+//
+//	base -> NewChaosClient (tests only) -> NewBreakerClient ->
+//	NewRetryingClientSeeded -> NewHedgedClient -> NewTieredClient
+//
+// with NewDiskCachedClient outermost, so cached answers never consume
+// retry budget or trip a breaker. See docs/ARCHITECTURE.md, "Fault
+// tolerance".
+
+// APIError is the typed transport error both live clients return: the
+// HTTP status, the error class, and any Retry-After hint the backend
+// sent. Match classes with errors.Is against the Err* sentinels.
+type APIError = llm.APIError
+
+// ErrorKind classifies an APIError for retry and breaker decisions.
+type ErrorKind = llm.ErrorKind
+
+// Error classes, matchable via errors.Is on any transport error.
+var (
+	// ErrThrottled marks rate limiting (HTTP 429): transient, and the
+	// retry middleware honors the backend's Retry-After hint.
+	ErrThrottled = llm.ErrThrottled
+	// ErrOverloaded marks backend failure (HTTP 5xx): transient.
+	ErrOverloaded = llm.ErrOverloaded
+	// ErrTransport marks connection-level failures — dial errors,
+	// truncated or malformed response bodies: transient.
+	ErrTransport = llm.ErrTransport
+	// ErrPermanent marks caller errors (HTTP 4xx other than 429/408):
+	// retrying cannot help, so the middleware fails fast.
+	ErrPermanent = llm.ErrPermanent
+	// ErrCircuitOpen is returned by an open circuit breaker without
+	// touching the backend. Not transient; the degradation policy
+	// (WithDegrade) decides what happens to the refused batch.
+	ErrCircuitOpen = llm.ErrCircuitOpen
+)
+
+// Transient reports whether retrying err could plausibly succeed.
+// Unclassified errors default to transient; ErrPermanent, ErrCircuitOpen,
+// context-length, and unknown-model errors do not.
+func Transient(err error) bool { return llm.Transient(err) }
+
+// RetryingClient retries transient failures with exponential backoff and
+// deterministic full jitter; its Retries counter feeds the resilience
+// summary.
+type RetryingClient = llm.Retrying
+
+// NewRetryingClientSeeded is NewRetryingClient with exponential backoff,
+// deterministic full jitter seeded by seed, and Retry-After honoring:
+// attempt n waits a uniform draw from [0, baseDelay<<n], raised to the
+// backend's Retry-After hint when one was sent. Non-transient errors
+// (see Transient) fail fast without consuming the attempt budget.
+func NewRetryingClientSeeded(inner Client, maxAttempts int, baseDelay time.Duration, seed int64) *RetryingClient {
+	return llm.NewRetryingSeeded(inner, maxAttempts, baseDelay, seed)
+}
+
+// BreakerClient is a circuit breaker around one backend: failsAfter
+// consecutive transient failures open it, and while open every call is
+// refused with ErrCircuitOpen without touching the backend. After
+// cooldown a single probe is admitted; its success closes the circuit,
+// its failure re-opens it. Counters (Opens, Rejections) feed the
+// resilience summary.
+type BreakerClient = llm.Breaker
+
+// NewBreakerClient wraps inner with a circuit breaker. For cascade runs
+// give each tier its own breaker under NewTieredClient, so a cheap-tier
+// outage cannot blackout the expensive tier or vice versa.
+func NewBreakerClient(inner Client, failsAfter int, cooldown time.Duration) *BreakerClient {
+	return llm.NewBreaker(inner, failsAfter, cooldown)
+}
+
+// HedgedClient launches a delayed second attempt for calls that are slow
+// or failing transiently; the first success wins and the loser is
+// cancelled. Completed duplicate calls are billed out-of-band as waste
+// in HedgeStats — never in the run ledger.
+type HedgedClient = llm.Hedged
+
+// HedgeStats counts hedge launches, wins, and the discarded duplicate
+// calls' real token spend.
+type HedgeStats = llm.HedgeStats
+
+// NewHedgedClient wraps inner with request hedging after delay; a
+// non-positive delay disables hedging and returns a pass-through.
+func NewHedgedClient(inner Client, delay time.Duration) *HedgedClient {
+	return llm.NewHedged(inner, delay)
+}
+
+// FaultProfile parameterizes the deterministic chaos harness: per-class
+// injection probabilities, the Retry-After carried by injected
+// throttles, and how many times each distinct request may be faulted
+// before it is forwarded untouched.
+type FaultProfile = llm.FaultProfile
+
+// ChaosClient deterministically injects transport faults in front of a
+// real client: the schedule is a pure function of (seed, request
+// content, attempt number), so two runs with the same seed see the same
+// faults. Injected faults never reach the inner client and never bill.
+type ChaosClient = llm.Chaos
+
+// NewChaosClient wraps inner with deterministic fault injection. It
+// exists for resilience testing — chaos soaks, CI smokes — not
+// production stacks.
+func NewChaosClient(inner Client, profile FaultProfile, seed int64) *ChaosClient {
+	return llm.NewChaos(inner, profile, seed)
+}
+
+// DegradePolicy decides what happens to a batch refused by an open
+// circuit breaker: fail the run, answer Unknown, or stand on the cheap
+// tier's answer. Degraded batches are journaled as repairable
+// placeholders — resuming the run once the backend recovers re-resolves
+// exactly those batches without re-billing anything else.
+type DegradePolicy = core.DegradePolicy
+
+// Degradation policies for WithDegrade.
+const (
+	// DegradeFailFast fails the run on ErrCircuitOpen (the default).
+	DegradeFailFast = core.DegradeFailFast
+	// DegradeUnknown answers the refused batch Unknown and keeps going.
+	DegradeUnknown = core.DegradeUnknown
+	// DegradeCheapOnly stands on the cheap tier's answer when a cascade
+	// batch's escalation is refused; without one it falls back to
+	// Unknown placeholders.
+	DegradeCheapOnly = core.DegradeCheapOnly
+)
+
+// ParseDegradePolicy parses "fail-fast", "unknown", or "cheap-only".
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	return core.ParseDegradePolicy(s)
+}
+
+// WithDegrade sets the graceful-degradation policy for batches refused
+// by an open circuit breaker.
+func WithDegrade(p DegradePolicy) Option { return core.WithDegrade(p) }
+
+// Resilience aggregates a run's fault-tolerance counters — retries,
+// breaker trips, hedges and their waste, degraded windows, injected
+// chaos faults — alongside the ledger's spend totals.
+type Resilience = cost.Resilience
+
+// HedgeWasteDollars prices a run's hedging waste (the discarded
+// duplicate calls in HedgeStats) at the named registry model's rates.
+// Unknown models price at zero. The result belongs in
+// Resilience.WasteDollars, never in the run ledger: waste bought no
+// predictions.
+func HedgeWasteDollars(model string, st HedgeStats) float64 {
+	m, err := llm.Lookup(model)
+	if err != nil {
+		return 0
+	}
+	return m.Pricing.APICost(int(st.WasteInputTokens), int(st.WasteOutputTokens))
+}

@@ -75,9 +75,31 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"time"
 
 	"batcher/batcher"
 )
+
+// chaosProfile maps a -chaos preset name to a fault profile. "mild"
+// sprinkles occasional transient faults; "aggressive" is the CI soak
+// profile — heavy fault rates on every class, several faults per
+// request — that a -retries budget must absorb without changing output.
+func chaosProfile(name string) (batcher.FaultProfile, error) {
+	switch name {
+	case "mild":
+		return batcher.FaultProfile{
+			Throttle: 0.05, Overload: 0.05, Transport: 0.05, Torn: 0.02,
+			RetryAfter: time.Millisecond, MaxFaults: 1,
+		}, nil
+	case "aggressive":
+		return batcher.FaultProfile{
+			Throttle: 0.25, Overload: 0.25, Transport: 0.2, Torn: 0.15,
+			RetryAfter: time.Millisecond, MaxFaults: 3,
+		}, nil
+	default:
+		return batcher.FaultProfile{}, fmt.Errorf("unknown -chaos profile %q (want mild or aggressive)", name)
+	}
+}
 
 func main() {
 	pathA := flag.String("a", "", "CSV file for table A (header row, optional id column)")
@@ -116,6 +138,21 @@ func main() {
 		"run only shard i/N of the candidate stream, e.g. 0/3 (needs -stream-window and -run-id)")
 	mergeShards := flag.String("merge-shards", "",
 		"merge the completed shard journals under this directory into <dir>/merged and replay the merged run (same tables and matcher flags as the shards)")
+	retries := flag.Int("retries", 1,
+		"max attempts per LLM call for transient failures (1 = no retrying)")
+	retryBase := flag.Duration("retry-base", 500*time.Millisecond,
+		"base backoff delay for -retries; attempt n sleeps a jittered [0, base<<n), raised to any Retry-After hint")
+	breakerFails := flag.Int("breaker-fails", 0,
+		"open a circuit breaker after this many consecutive transient failures (0 = no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second,
+		"how long an open breaker refuses calls before probing the backend again")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"launch a backup request if a call has not finished after this long (0 = no hedging; duplicate spend is reported as waste, outside the ledger)")
+	degradeFlag := flag.String("degrade", "fail-fast",
+		"policy for batches refused by an open breaker: fail-fast, unknown (answer Unknown, repairable on -resume), or cheap-only (stand on the cascade's cheap answer)")
+	chaosFlag := flag.String("chaos", "",
+		"inject deterministic transport faults for resilience testing: mild or aggressive (empty = off)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
 	flag.Parse()
 
 	if *pathA == "" || *pathB == "" {
@@ -156,11 +193,43 @@ func main() {
 	ctx, abort := context.WithCancel(ctx)
 	defer abort()
 
+	degrade, err := batcher.ParseDegradePolicy(*degradeFlag)
+	if err != nil {
+		fatal(fmt.Errorf("parsing -degrade: %w", err))
+	}
 	var client batcher.Client
 	if *apiBase != "" {
 		client = batcher.NewOpenAIClient(*apiBase, *apiKey)
 	} else {
 		client = batcher.NewSimulatedClient(nil, *seed)
+	}
+	// Resilience middleware composes innermost-first around the base
+	// client: chaos (fault injection, tests only), then the breaker, then
+	// retrying, then hedging. The disk cache wraps outside all of them, so
+	// cached answers never consume retry budget or trip the breaker.
+	var chaosC *batcher.ChaosClient
+	if *chaosFlag != "" {
+		profile, err := chaosProfile(*chaosFlag)
+		if err != nil {
+			fatal(err)
+		}
+		chaosC = batcher.NewChaosClient(client, profile, *chaosSeed)
+		client = chaosC
+	}
+	var breaker *batcher.BreakerClient
+	if *breakerFails > 0 {
+		breaker = batcher.NewBreakerClient(client, *breakerFails, *breakerCooldown)
+		client = breaker
+	}
+	var retryC *batcher.RetryingClient
+	if *retries > 1 {
+		retryC = batcher.NewRetryingClientSeeded(client, *retries, *retryBase, *seed)
+		client = retryC
+	}
+	var hedgedC *batcher.HedgedClient
+	if *hedgeAfter > 0 {
+		hedgedC = batcher.NewHedgedClient(client, *hedgeAfter)
+		client = hedgedC
 	}
 	var cache *batcher.DiskCache
 	if *cacheDir != "" {
@@ -174,6 +243,9 @@ func main() {
 	}
 	var prefilter *batcher.CascadePrefilter
 	matcher := []batcher.Option{batcher.WithModel(*model), batcher.WithSeed(*seed)}
+	if degrade != batcher.DegradeFailFast {
+		matcher = append(matcher, batcher.WithDegrade(degrade))
+	}
 	if *cascadeOn {
 		// Train the calibrated pre-filter on a bootstrap-labeled sample
 		// of the candidate stream: no gold labels are needed, and the
@@ -299,6 +371,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, ", %d in flight", pr.InFlight)
 			}
 			fmt.Fprintf(os.Stderr, ") | api=$%.3f", pr.APIUSD)
+			if pr.Degraded > 0 {
+				fmt.Fprintf(os.Stderr, " | degraded %d", pr.Degraded)
+			}
 		},
 	}, client, tableA, tableB)
 	// The run is over; restore default SIGINT handling so a second
@@ -356,6 +431,34 @@ func main() {
 	if cache != nil {
 		h, m := cache.Stats()
 		fmt.Fprintf(os.Stderr, "ermatch: response cache: %d hits / %d misses\n", h, m)
+	}
+	var res batcher.Resilience
+	if retryC != nil {
+		res.Retries = retryC.Retries()
+	}
+	if breaker != nil {
+		res.BreakerOpens = breaker.Opens()
+		res.BreakerRejections = breaker.Rejections()
+	}
+	if hedgedC != nil {
+		st := hedgedC.Stats()
+		res.HedgesLaunched = st.Launched
+		res.HedgesWon = st.Won
+		res.WasteCalls = st.WasteCalls
+		res.WasteInputTokens = st.WasteInputTokens
+		res.WasteOutputTokens = st.WasteOutputTokens
+		res.WasteDollars = batcher.HedgeWasteDollars(*model, st)
+	}
+	if chaosC != nil {
+		res.FaultsInjected = chaosC.Injected()
+	}
+	res.DegradedWindows = rep.Degraded
+	if res.Any() {
+		fmt.Fprintf(os.Stderr, "ermatch: resilience: %s\n", res.String())
+	}
+	if rep.Degraded > 0 && *runID != "" {
+		fmt.Fprintf(os.Stderr, "ermatch: %d windows hold degraded placeholder answers; once the backend recovers, re-run with -run-id %s -resume to repair them without re-billing the rest\n",
+			rep.Degraded, *runID)
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %d of %d candidates matched\n", matches, rep.Candidates)
 }

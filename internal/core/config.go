@@ -146,6 +146,11 @@ type Config struct {
 	// skips the cheap tier and goes straight to Model. 0 escalates only on
 	// Unknown answers. Ignored unless CheapModel is set.
 	EscalateMargin float64
+	// Degrade decides what happens to a batch refused by an open
+	// circuit breaker (llm.ErrCircuitOpen): fail the run (the default),
+	// answer Unknown, or — on cascade runs — stand on the cheap tier's
+	// answer. See DegradePolicy.
+	Degrade DegradePolicy
 }
 
 // applyDefaults fills unset fields with the paper's defaults.

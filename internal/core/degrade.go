@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// DegradePolicy decides what happens to a batch whose LLM call is
+// refused by an open circuit breaker (llm.ErrCircuitOpen). Every other
+// failure still fails the run: degradation is only for the case where
+// the transport layer has already concluded the backend is down and
+// retrying is pointless.
+type DegradePolicy int
+
+const (
+	// DegradeFailFast (the default) aborts the run on an open circuit,
+	// exactly like any other error. The journal keeps what completed;
+	// resume continues when the backend recovers.
+	DegradeFailFast DegradePolicy = iota
+	// DegradeUnknown answers the affected batch all-Unknown and keeps
+	// going. The batch is journaled as degraded — not as answered — so
+	// a later resume against a healthy backend repairs it without
+	// re-billing the batches that did complete.
+	DegradeUnknown
+	// DegradeCheapOnly is DegradeUnknown for cascade runs that still
+	// have a live cheap tier: when only the expensive tier's breaker is
+	// open, the cheap tier's answer (Unknowns and all) stands instead
+	// of being escalated. Batches the cheap tier could not answer
+	// degrade to all-Unknown.
+	DegradeCheapOnly
+)
+
+// String names the policy for logs and flags.
+func (p DegradePolicy) String() string {
+	switch p {
+	case DegradeFailFast:
+		return "fail-fast"
+	case DegradeUnknown:
+		return "unknown"
+	case DegradeCheapOnly:
+		return "cheap-only"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", int(p))
+	}
+}
+
+// ParseDegradePolicy maps a flag value to its policy.
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	switch s {
+	case "", "fail-fast":
+		return DegradeFailFast, nil
+	case "unknown":
+		return DegradeUnknown, nil
+	case "cheap-only":
+		return DegradeCheapOnly, nil
+	}
+	return 0, fmt.Errorf("core: unknown degrade policy %q (want fail-fast, unknown, or cheap-only)", s)
+}

@@ -63,6 +63,10 @@ type Result struct {
 	// batches that never completed stay 0); nil on aggregated results
 	// whose batches span several streams.
 	BatchMargins []float64
+	// Degraded counts batches answered by the degradation policy
+	// instead of the LLM (see Config.Degrade); their predictions are
+	// placeholders a later resume can repair.
+	Degraded int
 }
 
 // Apply folds one completed batch into the result: predictions, API
@@ -75,6 +79,9 @@ func (r *Result) Apply(br BatchResult) {
 	r.Ledger.Merge(&br.Ledger)
 	r.PromptTokens += br.InputTokens
 	r.TrimmedDemos += br.TrimmedDemos
+	if br.Degraded {
+		r.Degraded++
+	}
 	if br.Index >= 0 && br.Index < len(r.BatchMargins) {
 		r.BatchMargins[br.Index] = br.VoteMargin
 	}

@@ -77,6 +77,11 @@ func WithCheapModel(name string) Option { return func(c *Config) { c.CheapModel 
 // answers). Only meaningful together with WithCheapModel.
 func WithEscalateMargin(m float64) Option { return func(c *Config) { c.EscalateMargin = m } }
 
+// WithDegrade sets the graceful-degradation policy for batches refused
+// by an open circuit breaker (default DegradeFailFast). Pair it with
+// llm.NewBreaker so an outage actually surfaces as llm.ErrCircuitOpen.
+func WithDegrade(p DegradePolicy) Option { return func(c *Config) { c.Degrade = p } }
+
 // WithConfig overlays an explicit Config wholesale. It exists for callers
 // that build configurations programmatically (sweeps, serialized configs)
 // and composes with the other options: later options still apply on top.

@@ -40,6 +40,11 @@ type BatchResult struct {
 	// Tier names the tier that produced Pred on a cascade run
 	// (cost.TierCheap or cost.TierExpensive); empty on single-model runs.
 	Tier string
+	// Degraded marks a batch answered by the degradation policy instead
+	// of the LLM: its breaker-refused call was replaced by Unknowns (or
+	// the cheap tier's answer). Degraded batches are journaled as
+	// repairable, not as answered.
+	Degraded bool
 }
 
 // BatchError is the typed error ResolveStream and Resolve report when a
@@ -220,6 +225,9 @@ func (f *Framework) runBatch(ctx context.Context, p *execPlan, bi int) (BatchRes
 	if !p.cascade {
 		resp, trimmed, err := f.callWithTrim(ctx, p.model, llm.TierDefault, demos, qs)
 		if err != nil {
+			if f.degradable(ctx, err) {
+				return f.degrade(br, len(batch), nil), nil
+			}
 			return BatchResult{}, err
 		}
 		br.Pred = prompt.ParseAnswersAny(resp.Completion, len(batch))
@@ -234,9 +242,14 @@ func (f *Framework) runBatch(ctx context.Context, p *execPlan, bi int) (BatchRes
 		}
 		return br, nil
 	}
+	var cheapPred []entity.Label
 	if br.VoteMargin >= f.cfg.EscalateMargin {
 		resp, trimmed, err := f.callWithTrim(ctx, p.cheap, llm.TierCheap, demos, qs)
 		if err != nil {
+			if f.degradable(ctx, err) {
+				// The cheap tier itself is down: nothing answered yet.
+				return f.degrade(br, len(batch), nil), nil
+			}
 			return BatchResult{}, err
 		}
 		pred := prompt.ParseAnswersAny(resp.Completion, len(batch))
@@ -251,12 +264,18 @@ func (f *Framework) runBatch(ctx context.Context, p *execPlan, bi int) (BatchRes
 			br.Tier = cost.TierCheap
 			return br, nil
 		}
+		cheapPred = pred
 	}
 	// Escalate: low margin skipped the cheap tier, or its answer carried
 	// Unknowns. Both attempts' tokens accumulate on the batch; the ledger
 	// splits them per tier.
 	resp, trimmed, err := f.callWithTrim(ctx, p.model, llm.TierExpensive, demos, qs)
 	if err != nil {
+		if f.degradable(ctx, err) {
+			// Only the expensive tier is refusing; the cheap spend above
+			// stays on the batch so a repairing resume does not re-bill it.
+			return f.degrade(br, len(batch), cheapPred), nil
+		}
 		return BatchResult{}, err
 	}
 	br.Pred = prompt.ParseAnswersAny(resp.Completion, len(batch))
@@ -268,6 +287,34 @@ func (f *Framework) runBatch(ctx context.Context, p *execPlan, bi int) (BatchRes
 	}
 	br.Tier = cost.TierExpensive
 	return br, nil
+}
+
+// degradable reports whether err is the one failure the degradation
+// policy absorbs: a circuit-breaker refusal, with the caller still
+// alive and a policy other than fail-fast configured.
+func (f *Framework) degradable(ctx context.Context, err error) bool {
+	return f.cfg.Degrade != DegradeFailFast && ctx.Err() == nil && errors.Is(err, llm.ErrCircuitOpen)
+}
+
+// degrade completes br under the degradation policy: the cheap tier's
+// answer when DegradeCheapOnly has one to stand on, all-Unknown
+// otherwise. Whatever tokens and spend the batch accumulated before
+// the refusal stay on it — they were billed and must reach the
+// journal so a repairing resume does not re-bill them.
+func (f *Framework) degrade(br BatchResult, n int, cheapPred []entity.Label) BatchResult {
+	if f.cfg.Degrade == DegradeCheapOnly && cheapPred != nil {
+		br.Pred = cheapPred
+		br.Tier = cost.TierCheap
+	} else {
+		pred := make([]entity.Label, n)
+		for i := range pred {
+			pred[i] = entity.Unknown
+		}
+		br.Pred = pred
+		br.Tier = ""
+	}
+	br.Degraded = true
+	return br
 }
 
 // anyUnknown reports whether any answer failed to parse to a label —

@@ -48,3 +48,33 @@ func (t *Tiered) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 	}
 	return t.Cheap.Complete(ctx, req)
 }
+
+// hedgeResult carries one racing attempt's outcome.
+type hedgeResult struct {
+	resp llm.Response
+	err  error
+}
+
+// Hedged is the request-hedging middleware shape: its Complete races
+// two forwarding calls from goroutines it launches itself. Both calls
+// live inside a wrapping Complete on a Client implementation, so both
+// are sanctioned without any allowlist — forwarding through a
+// goroutine is still forwarding.
+type Hedged struct {
+	// Inner is the wrapped client both attempts forward to.
+	Inner llm.Client
+}
+
+// Complete implements llm.Client by racing a primary and a hedge
+// attempt; the first answer wins.
+func (h *Hedged) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	ch := make(chan hedgeResult, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := h.Inner.Complete(ctx, req)
+			ch <- hedgeResult{r, err}
+		}()
+	}
+	first := <-ch
+	return first.resp, first.err
+}

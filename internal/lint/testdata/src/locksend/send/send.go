@@ -74,3 +74,45 @@ func Locked(mu *sync.Mutex, ch chan<- int, v int) {
 	mu.Unlock()
 	ch <- v
 }
+
+// Breaker is the circuit-breaker middleware shape: admission state
+// guarded by a mutex, outcomes reported on a channel. The discipline —
+// decide under the lock, release, then send — must stay finding-free.
+type Breaker struct {
+	mu       sync.Mutex
+	failures int
+	open     bool
+}
+
+// Admit decides under the lock, copies the verdict out, unlocks, and
+// only then reports the rejection: no finding.
+func (b *Breaker) Admit(rejected chan<- int) bool {
+	b.mu.Lock()
+	refuse := b.open
+	b.mu.Unlock()
+	if refuse {
+		rejected <- b.failures
+		return false
+	}
+	return true
+}
+
+// Record updates the breaker under the lock, copies the transition
+// verdict out, and notifies only after the explicit Unlock: the plain
+// shape — mutate, unlock, send — stays the legal one.
+func (b *Breaker) Record(failed bool, threshold int, opened chan<- struct{}) {
+	b.mu.Lock()
+	if failed {
+		b.failures++
+	} else {
+		b.failures = 0
+	}
+	tripped := !b.open && b.failures >= threshold
+	if tripped {
+		b.open = true
+	}
+	b.mu.Unlock()
+	if tripped {
+		opened <- struct{}{}
+	}
+}

@@ -97,22 +97,32 @@ func (c *AnthropicCompatible) Complete(ctx context.Context, req Request) (Respon
 	}
 	resp, err := client.Do(httpReq)
 	if err != nil {
-		return Response{}, fmt.Errorf("llm: request failed: %w", err)
+		return Response{}, &APIError{Kind: KindTransport, Message: "request failed", Err: err}
 	}
-	defer resp.Body.Close()
+	// Drain any unread remainder before closing so the connection is
+	// reusable even on error paths.
+	defer drainClose(resp.Body)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return Response{}, fmt.Errorf("llm: read response: %w", err)
+		return Response{}, &APIError{Status: resp.StatusCode, Kind: KindTransport, Message: "truncated response body", Err: err}
 	}
 	var parsed anthropicResponse
-	if err := json.Unmarshal(data, &parsed); err != nil {
-		return Response{}, fmt.Errorf("llm: decode response (status %d): %w", resp.StatusCode, err)
+	jsonErr := json.Unmarshal(data, &parsed)
+	if resp.StatusCode != http.StatusOK {
+		// Classify by status; the body's error message (when it parses)
+		// rides along for the humans.
+		var apiType, apiMsg string
+		if jsonErr == nil && parsed.Error != nil {
+			apiType, apiMsg = parsed.Error.Type, parsed.Error.Message
+		}
+		return Response{}, statusError(resp.StatusCode, resp.Header, apiType, apiMsg)
+	}
+	if jsonErr != nil {
+		return Response{}, &APIError{Status: resp.StatusCode, Kind: KindTransport, Message: "malformed response body", Err: jsonErr}
 	}
 	if parsed.Error != nil {
-		return Response{}, fmt.Errorf("llm: api error (%s): %s", parsed.Error.Type, parsed.Error.Message)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return Response{}, fmt.Errorf("llm: unexpected status %d", resp.StatusCode)
+		return Response{}, &APIError{Status: resp.StatusCode, Kind: KindPermanent,
+			Message: fmt.Sprintf("%s: %s", parsed.Error.Type, parsed.Error.Message)}
 	}
 	var text string
 	for _, block := range parsed.Content {
@@ -121,7 +131,7 @@ func (c *AnthropicCompatible) Complete(ctx context.Context, req Request) (Respon
 		}
 	}
 	if text == "" {
-		return Response{}, fmt.Errorf("llm: empty content")
+		return Response{}, &APIError{Status: resp.StatusCode, Kind: KindTransport, Message: "empty content"}
 	}
 	out := Response{
 		Completion:   text,

@@ -1,0 +1,138 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned by a Breaker that is refusing calls
+// because its backend has failed repeatedly and the cooldown has not
+// elapsed. It is not transient: retrying through the same breaker
+// cannot help, and the degradation policy (core.DegradePolicy) decides
+// what happens to the batch instead.
+var ErrCircuitOpen = errors.New("llm: circuit open")
+
+// breakerState is the classic three-state circuit machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker wraps a Client with a circuit breaker: after Threshold
+// consecutive transient failures it opens and fails fast with
+// ErrCircuitOpen — without touching the backend — until Cooldown has
+// elapsed, then admits a single probe (half-open). A successful probe
+// closes the circuit; a failed one re-opens it. Permanent API answers
+// (the backend responded, just negatively) count as proof of life and
+// close the circuit; caller cancellations are neutral. Compose one
+// Breaker per backend — under Tiered, one per tier — so an expensive-
+// tier outage cannot poison the cheap tier's circuit.
+type Breaker struct {
+	inner Client
+	// threshold is the consecutive-failure count that opens the
+	// circuit (>= 1).
+	threshold int
+	// cooldown is how long the circuit stays open before admitting a
+	// probe.
+	cooldown time.Duration
+	// now is stubbed in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	opens    atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewBreaker returns a circuit breaker that opens after threshold
+// consecutive transient failures and stays open for cooldown before
+// probing. threshold < 1 is clamped to 1; cooldown <= 0 defaults to
+// 30 seconds.
+func NewBreaker(inner Client, threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{inner: inner, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Opens reports how many times the circuit has tripped open.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }
+
+// Rejections reports how many calls were refused with ErrCircuitOpen.
+func (b *Breaker) Rejections() int64 { return b.rejected.Load() }
+
+// admit decides whether this call may proceed to the backend.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejected.Add(1)
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open: one probe at a time
+		if b.probing {
+			b.rejected.Add(1)
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// observe folds one backend outcome into the circuit state. callerErr
+// is the caller context's error at return time, used to keep caller
+// cancellations from counting against the backend.
+func (b *Breaker) observe(err, callerErr error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case err == nil || !Transient(err):
+		// Success, or a definitive answer (context-length, permanent
+		// 4xx): either way the backend is alive.
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+	case callerErr != nil:
+		// The caller gave up; that says nothing about backend health.
+		b.probing = false
+	default:
+		b.probing = false
+		b.fails++
+		if b.state == breakerHalfOpen || b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			b.opens.Add(1)
+		}
+	}
+}
+
+// Complete implements Client.
+func (b *Breaker) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := b.admit(); err != nil {
+		return Response{}, err
+	}
+	resp, err := b.inner.Complete(ctx, req)
+	b.observe(err, ctx.Err())
+	return resp, err
+}

@@ -1,0 +1,184 @@
+package llm
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// HedgeStats is a point-in-time snapshot of a Hedged wrapper's
+// counters. Waste counts the loser attempts that completed anyway:
+// work the backend did (and a live API would bill) that the run's
+// ledger never sees, because the run folds in only the winning
+// response. Surfacing it keeps the hedging cost honest.
+type HedgeStats struct {
+	// Launched is how many hedge (second) attempts were started.
+	Launched int64
+	// Won is how many hedge attempts beat the primary.
+	Won int64
+	// WasteCalls is how many loser attempts completed after losing.
+	WasteCalls int64
+	// WasteInputTokens / WasteOutputTokens are the tokens those loser
+	// completions consumed.
+	WasteInputTokens  int64
+	WasteOutputTokens int64
+}
+
+// hedgeResult carries one attempt's outcome across goroutines.
+type hedgeResult struct {
+	resp Response
+	err  error
+}
+
+// Hedged wraps a Client with request hedging against tail latency: if
+// the primary attempt has not answered within Delay — or fails
+// transiently sooner — a second identical attempt is launched and the
+// first success wins. The loser is cancelled immediately; if it
+// completes anyway its tokens are tallied in HedgeStats as waste, so
+// the extra spend is visible even though only the winner reaches the
+// run's ledger. A permanent error from either attempt ends the race:
+// the other attempt would be told the same thing.
+type Hedged struct {
+	inner Client
+	// delay is how long the primary may run before the hedge launches.
+	delay time.Duration
+	// sleep is stubbed in tests; nil uses a ctx-aware timer.
+	sleep func(time.Duration)
+
+	launched   atomic.Int64
+	won        atomic.Int64
+	wasteCalls atomic.Int64
+	wasteIn    atomic.Int64
+	wasteOut   atomic.Int64
+}
+
+// NewHedged returns a hedging wrapper that launches a second attempt
+// after delay. delay <= 0 disables hedging (calls pass straight
+// through).
+func NewHedged(inner Client, delay time.Duration) *Hedged {
+	return &Hedged{inner: inner, delay: delay}
+}
+
+// Stats snapshots the wrapper's counters.
+func (h *Hedged) Stats() HedgeStats {
+	return HedgeStats{
+		Launched:          h.launched.Load(),
+		Won:               h.won.Load(),
+		WasteCalls:        h.wasteCalls.Load(),
+		WasteInputTokens:  h.wasteIn.Load(),
+		WasteOutputTokens: h.wasteOut.Load(),
+	}
+}
+
+// harvest drains a cancelled loser in the background, tallying its
+// work as waste if it completed anyway. Cache hits cost nothing and
+// are not waste.
+func (h *Hedged) harvest(ch <-chan hedgeResult) {
+	go func() {
+		r := <-ch
+		if r.err == nil && !r.resp.CacheHit {
+			h.wasteCalls.Add(1)
+			h.wasteIn.Add(int64(r.resp.InputTokens))
+			h.wasteOut.Add(int64(r.resp.OutputTokens))
+		}
+	}()
+}
+
+// Complete implements Client.
+func (h *Hedged) Complete(ctx context.Context, req Request) (Response, error) {
+	if h.delay <= 0 {
+		return h.inner.Complete(ctx, req)
+	}
+
+	primCtx, cancelPrim := context.WithCancel(ctx)
+	defer cancelPrim()
+	primCh := make(chan hedgeResult, 1)
+	go func() {
+		r, e := h.inner.Complete(primCtx, req)
+		primCh <- hedgeResult{r, e}
+	}()
+
+	// Phase 1: wait for the primary or the hedge timer, whichever is
+	// first. The timer runs in its own goroutine so a fast primary
+	// never waits on it.
+	timerCtx, cancelTimer := context.WithCancel(ctx)
+	defer cancelTimer()
+	timerCh := make(chan error, 1)
+	go func() { timerCh <- sleepCtx(timerCtx, h.delay, h.sleep) }()
+
+	var firstErr error
+	select {
+	case r := <-primCh:
+		if r.err == nil || !Transient(r.err) || ctx.Err() != nil {
+			return r.resp, r.err
+		}
+		// The primary failed transiently before the timer: hedge now
+		// rather than sitting out the rest of the delay.
+		firstErr = r.err
+		primCh = nil
+	case err := <-timerCh:
+		if err != nil { // ctx died during the wait
+			<-primCh
+			return Response{}, err
+		}
+	}
+
+	// Phase 2: launch the hedge and race whatever is still in flight.
+	h.launched.Add(1)
+	hedCtx, cancelHed := context.WithCancel(ctx)
+	defer cancelHed()
+	hedCh := make(chan hedgeResult, 1)
+	go func() {
+		r, e := h.inner.Complete(hedCtx, req)
+		hedCh <- hedgeResult{r, e}
+	}()
+
+	remaining := 2
+	if primCh == nil {
+		remaining = 1
+	}
+	for ; remaining > 0; remaining-- {
+		var r hedgeResult
+		var fromHedge bool
+		select {
+		case r = <-primCh:
+			primCh = nil
+		case r = <-hedCh:
+			hedCh = nil
+			fromHedge = true
+		}
+		if r.err == nil {
+			if fromHedge {
+				h.won.Add(1)
+				cancelPrim()
+			} else {
+				cancelHed()
+			}
+			if primCh != nil {
+				h.harvest(primCh)
+			}
+			if hedCh != nil {
+				h.harvest(hedCh)
+			}
+			return r.resp, nil
+		}
+		if !Transient(r.err) && ctx.Err() == nil {
+			cancelPrim()
+			cancelHed()
+			if primCh != nil {
+				h.harvest(primCh)
+			}
+			if hedCh != nil {
+				h.harvest(hedCh)
+			}
+			return r.resp, r.err
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return Response{}, ctxErr
+	}
+	return Response{}, firstErr
+}

@@ -2,8 +2,9 @@ package llm
 
 import (
 	"context"
-	"errors"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,32 +94,77 @@ func (r *RateLimited) wait(ctx context.Context) error {
 	}
 }
 
-// Retrying wraps a Client with bounded exponential-backoff retries on
-// transient errors. Context-length and unknown-model errors are permanent
-// and never retried; context cancellation aborts both the backoff sleep
-// and any further attempts.
+// Retrying wraps a Client with bounded, class-aware retries: any
+// non-transient error (see Transient) short-circuits after one
+// attempt, transient errors back off with seeded full jitter —
+// uniform in [0, BaseDelay<<attempt] — de-synchronizing the herd of
+// concurrent windows, and a 429's Retry-After hint floors the wait.
+// Context cancellation aborts both the backoff sleep and any further
+// attempts.
 type Retrying struct {
 	inner Client
 	// MaxAttempts is the total number of tries (>= 1).
 	MaxAttempts int
-	// BaseDelay is the first backoff; it doubles per attempt.
+	// BaseDelay scales the backoff: attempt n waits a uniform random
+	// duration in [0, BaseDelay<<n], floored by any Retry-After hint.
 	BaseDelay time.Duration
 	// sleep is stubbed in tests; nil uses a ctx-aware timer.
 	sleep func(time.Duration)
+
+	mu      sync.Mutex
+	rnd     *rand.Rand
+	retries atomic.Int64
 }
 
-// NewRetrying returns a retrying wrapper with the given attempt budget.
+// NewRetrying returns a retrying wrapper with the given attempt budget
+// and a fixed jitter seed; use NewRetryingSeeded to vary the jitter
+// stream (e.g. per shard).
 func NewRetrying(inner Client, maxAttempts int, baseDelay time.Duration) *Retrying {
+	return NewRetryingSeeded(inner, maxAttempts, baseDelay, 1)
+}
+
+// NewRetryingSeeded is NewRetrying with an explicit jitter seed, so
+// backoff schedules are reproducible yet distinct across processes.
+func NewRetryingSeeded(inner Client, maxAttempts int, baseDelay time.Duration, seed int64) *Retrying {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
-	return &Retrying{inner: inner, MaxAttempts: maxAttempts, BaseDelay: baseDelay}
+	return &Retrying{
+		inner:       inner,
+		MaxAttempts: maxAttempts,
+		BaseDelay:   baseDelay,
+		rnd:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Retries reports how many retry attempts (attempts after the first)
+// this wrapper has issued over its lifetime.
+func (t *Retrying) Retries() int64 { return t.retries.Load() }
+
+// backoff draws the jittered wait for the given attempt: uniform in
+// [0, BaseDelay<<attempt].
+func (t *Retrying) backoff(attempt int) time.Duration {
+	if t.BaseDelay <= 0 {
+		return 0
+	}
+	if attempt > 16 {
+		attempt = 16 // cap the ceiling; beyond this the jitter range is hours
+	}
+	ceil := t.BaseDelay << attempt
+	if ceil <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rnd == nil {
+		t.rnd = rand.New(rand.NewSource(1))
+	}
+	return time.Duration(t.rnd.Int63n(int64(ceil) + 1))
 }
 
 // Complete implements Client.
 func (t *Retrying) Complete(ctx context.Context, req Request) (Response, error) {
 	var lastErr error
-	delay := t.BaseDelay
 	for attempt := 0; attempt < t.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Response{}, err
@@ -127,7 +173,7 @@ func (t *Retrying) Complete(ctx context.Context, req Request) (Response, error) 
 		if err == nil {
 			return resp, nil
 		}
-		if errors.Is(err, ErrContextLength) || errors.Is(err, ErrUnknownModel) {
+		if !Transient(err) {
 			return Response{}, err
 		}
 		// Distinguish the caller giving up from the inner client's own
@@ -138,11 +184,17 @@ func (t *Retrying) Complete(ctx context.Context, req Request) (Response, error) 
 			return Response{}, ctxErr
 		}
 		lastErr = err
-		if attempt < t.MaxAttempts-1 && delay > 0 {
-			if err := sleepCtx(ctx, delay, t.sleep); err != nil {
-				return Response{}, err
+		if attempt < t.MaxAttempts-1 {
+			t.retries.Add(1)
+			delay := t.backoff(attempt)
+			if ra, ok := RetryAfterHint(err); ok && ra > delay {
+				delay = ra
 			}
-			delay *= 2
+			if delay > 0 || t.BaseDelay > 0 {
+				if err := sleepCtx(ctx, delay, t.sleep); err != nil {
+					return Response{}, err
+				}
+			}
 		}
 	}
 	return Response{}, lastErr

@@ -54,8 +54,14 @@ func TestRetryingSucceedsAfterTransient(t *testing.T) {
 	if inner.calls != 3 {
 		t.Errorf("calls = %d, want 3", inner.calls)
 	}
-	if len(slept) != 2 || slept[1] != 2*slept[0] {
-		t.Errorf("backoff = %v, want doubling", slept)
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Full jitter: attempt n draws uniformly from [0, BaseDelay<<n].
+	for i, d := range slept {
+		if ceil := time.Millisecond << i; d < 0 || d > ceil {
+			t.Errorf("backoff[%d] = %v, want within [0, %v]", i, d, ceil)
+		}
 	}
 }
 

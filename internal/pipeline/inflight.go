@@ -314,6 +314,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 			Replayed:     rep.Replayed,
 			Windows:      rep.Windows,
 			APIUSD:       agg.Ledger.API(),
+			Degraded:     rep.Degraded,
 			InFlight:     int(inflightCount.Load()),
 		})
 	}
@@ -397,6 +398,9 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		emitPairs(cfg, rep, iw.rw.full, full.Pred)
 		rep.Candidates += len(iw.rw.full)
 		rep.AutoResolved += iw.rw.autoResolved()
+		if res.Degraded > 0 {
+			rep.Degraded++
+		}
 		if werr != nil {
 			return abandon(fmt.Errorf("pipeline: matching: %w", werr))
 		}
@@ -421,6 +425,7 @@ func runPipelined(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		Blocked: int(blocked.Load()), BlockingDone: true,
 		Matched: rep.Candidates, Replayed: rep.Replayed,
 		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
+		Degraded: rep.Degraded,
 	})
 	return rep, nil
 }

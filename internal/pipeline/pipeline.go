@@ -150,6 +150,10 @@ type Progress struct {
 	// APIUSD is the API spend so far, in dollars. Replayed windows
 	// contribute the spend their original run billed.
 	APIUSD float64
+	// Degraded is the number of committed windows so far containing at
+	// least one batch answered by the degradation policy
+	// (core.Config.Degrade) instead of the LLM.
+	Degraded int
 	// InFlight is the number of windows currently executing (prepared
 	// or calling the LLM) beyond the one just committed. Always 0 for
 	// sequential executors; under InFlightWindows > 1 it is a
@@ -199,6 +203,14 @@ type Report struct {
 	// AutoResolved is the number of candidates the cascade pre-filter
 	// answered without any LLM call. Zero when Config.Prefilter is nil.
 	AutoResolved int
+	// Degraded is the number of committed windows containing at least one
+	// batch answered by the degradation policy (Matcher.Degrade) instead
+	// of the LLM. Degraded batches are journaled as repairable
+	// placeholders that do not complete their window, so a later resume
+	// over the same journal re-resolves them once the backend recovers —
+	// a report with Degraded > 0 is complete but not authoritative.
+	// Result.Degraded holds the finer batch-level count.
+	Degraded int
 }
 
 // Run executes blocking and matching over the two tables. Cancelling ctx
@@ -369,12 +381,18 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 		// rest), per core.Resolve's partial contract.
 		rep.Result = rw.expand(res)
 		rep.Windows = 1
+		if res.Degraded > 0 {
+			rep.Degraded = 1
+		}
 		emitPairs(cfg, rep, candidates, rep.Result.Pred)
 		return rep, fmt.Errorf("pipeline: matching: %w", err)
 	}
 	rep.Result = rw.expand(res)
 	rep.Windows = 1
 	rep.WindowsTotal = 1
+	if res.Degraded > 0 {
+		rep.Degraded = 1
+	}
 	emitPairs(cfg, rep, candidates, rep.Result.Pred)
 	if err := journalDone(cfg.Journal, 1, 1); err != nil {
 		return rep, fmt.Errorf("pipeline: journal: %w", err)
@@ -382,6 +400,7 @@ func runCollected(ctx context.Context, cfg Config, blocker blocking.Blocker, f *
 	progress(cfg, Progress{
 		Blocked: len(candidates), BlockingDone: true,
 		Matched: len(candidates), Windows: 1, APIUSD: res.Ledger.API(),
+		Degraded: rep.Degraded,
 	})
 	return rep, nil
 }
@@ -569,6 +588,9 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 			emitPairs(cfg, rep, win, full.Pred)
 			rep.Candidates += len(win)
 			rep.AutoResolved += rw.autoResolved()
+			if res.Degraded > 0 {
+				rep.Degraded++
+			}
 		}
 		if err != nil {
 			return fail(fmt.Errorf("pipeline: matching: %w", err))
@@ -581,6 +603,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 			Replayed:     rep.Replayed,
 			Windows:      rep.Windows,
 			APIUSD:       agg.Ledger.API(),
+			Degraded:     rep.Degraded,
 		})
 	}
 	rep.Result = agg
@@ -604,6 +627,7 @@ func runWindowed(ctx context.Context, cfg Config, blocker blocking.Blocker, f *c
 		Blocked: int(blocked.Load()), BlockingDone: true,
 		Matched: rep.Candidates, Replayed: rep.Replayed,
 		Windows: rep.Windows, APIUSD: agg.Ledger.API(),
+		Degraded: rep.Degraded,
 	})
 	return rep, nil
 }
@@ -621,6 +645,7 @@ func foldWindow(agg, res *core.Result, sharedLabeled map[int]bool) {
 	agg.Pred = append(agg.Pred, res.Pred...)
 	agg.PromptTokens += res.PromptTokens
 	agg.TrimmedDemos += res.TrimmedDemos
+	agg.Degraded += res.Degraded
 	if sharedLabeled != nil {
 		agg.Ledger.MergeAPI(&res.Ledger)
 		fresh := 0
@@ -646,8 +671,12 @@ func progress(cfg Config, p Progress) {
 
 // Summary renders a one-paragraph report.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("pipeline: %d candidates (blocked in %v), %d matches (matched in %v), %s",
+	s := fmt.Sprintf("pipeline: %d candidates (blocked in %v), %d matches (matched in %v), %s",
 		r.Candidates, r.BlockingTime.Round(time.Millisecond),
 		len(r.Matches), r.MatchingTime.Round(time.Millisecond),
 		r.Result.Ledger.String())
+	if r.Degraded > 0 {
+		s += fmt.Sprintf(", %d degraded windows (re-run with the same journal to repair)", r.Degraded)
+	}
+	return s
 }

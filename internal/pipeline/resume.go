@@ -226,6 +226,7 @@ func journalBatch(j *runstore.Journal, wIdx int, keys []string, br core.BatchRes
 		TrimmedDemos: br.TrimmedDemos,
 		Tier:         br.Tier,
 		Tiers:        br.Ledger.TierBreakdown(),
+		Degraded:     br.Degraded,
 	})
 }
 

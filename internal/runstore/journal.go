@@ -152,6 +152,14 @@ type BatchDone struct {
 	// carries both a cheap and an expensive bucket); empty on
 	// single-model runs.
 	Tiers []cost.TierUsage `json:"tiers,omitempty"`
+	// Degraded marks a placeholder answered by the degradation policy
+	// (core.DegradePolicy) instead of the LLM, after a circuit breaker
+	// refused the call. The record preserves whatever spend the batch
+	// made before the refusal (a cascade's cheap-tier attempt), but its
+	// predictions do not count toward window completeness: a later
+	// resume re-resolves the batch — repairing it — and journals the
+	// real answer as a separate, authoritative record.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Ledger reconstructs the batch's API cost delta, including the
@@ -168,10 +176,17 @@ type journalRecord struct {
 	Done   *RunDone     `json:"done,omitempty"`
 }
 
-// windowState groups the journaled records of one window.
+// windowState groups the journaled records of one window. batches
+// holds authoritative answers; degraded holds placeholder records
+// whose spend must be preserved but whose predictions are repairable.
 type windowState struct {
-	start   *WindowStart
-	batches map[int]*BatchDone
+	start    *WindowStart
+	batches  map[int]*BatchDone
+	degraded map[int]*BatchDone
+}
+
+func newWindowState() *windowState {
+	return &windowState{batches: map[int]*BatchDone{}, degraded: map[int]*BatchDone{}}
 }
 
 // RunState is the parsed content of a journal: what a resumed run may
@@ -221,19 +236,39 @@ func (s *RunState) Windows() int {
 // to modify.
 func (s *RunState) WindowBatches(i int) []BatchDone {
 	w := s.window(i)
-	if w == nil || len(w.batches) == 0 {
+	if w == nil || (len(w.batches) == 0 && len(w.degraded) == 0) {
 		return nil
 	}
-	order := make([]int, 0, len(w.batches))
+	order := batchOrder(w)
+	out := make([]BatchDone, 0, len(order))
+	for _, bi := range order {
+		// Degraded placeholder first: it recorded the spend the batch
+		// made before the refusal, which the original run billed before
+		// any repair re-billed the remainder.
+		if d := w.degraded[bi]; d != nil {
+			out = append(out, *d)
+		}
+		if b := w.batches[bi]; b != nil {
+			out = append(out, *b)
+		}
+	}
+	return out
+}
+
+// batchOrder returns the union of a window's batch indices — answered
+// and degraded — in ascending order.
+func batchOrder(w *windowState) []int {
+	order := make([]int, 0, len(w.batches)+len(w.degraded))
 	for bi := range w.batches {
 		order = append(order, bi)
 	}
-	sort.Ints(order)
-	out := make([]BatchDone, 0, len(order))
-	for _, bi := range order {
-		out = append(out, *w.batches[bi])
+	for bi := range w.degraded {
+		if _, dup := w.batches[bi]; !dup {
+			order = append(order, bi)
+		}
 	}
-	return out
+	sort.Ints(order)
+	return order
 }
 
 func (s *RunState) window(i int) *windowState {
@@ -302,16 +337,23 @@ func (s *RunState) WindowUsage(i int) (cost.Ledger, int) {
 	if w == nil {
 		return l, 0
 	}
-	order := make([]int, 0, len(w.batches))
-	for bi := range w.batches {
-		order = append(order, bi)
-	}
-	sort.Ints(order)
-	for _, bi := range order {
-		b := w.batches[bi]
-		bl := b.Ledger()
-		l.MergeAPI(&bl)
-		trimmed += b.TrimmedDemos
+	for _, bi := range batchOrder(w) {
+		// A degraded placeholder's spend (the pre-refusal cheap-tier
+		// attempt) folds in before the repair's record, matching the
+		// order the original run billed it. Its trims only count when
+		// no repair exists: a repair re-derives the same trims itself.
+		if d := w.degraded[bi]; d != nil {
+			dl := d.Ledger()
+			l.MergeAPI(&dl)
+			if w.batches[bi] == nil {
+				trimmed += d.TrimmedDemos
+			}
+		}
+		if b := w.batches[bi]; b != nil {
+			bl := b.Ledger()
+			l.MergeAPI(&bl)
+			trimmed += b.TrimmedDemos
+		}
 	}
 	return l, trimmed
 }
@@ -330,7 +372,7 @@ func (s *RunState) VerifyWindowKeys(i int, keys []string) error {
 		return fmt.Errorf("%w: window %d journaled %d pairs, stream has %d",
 			ErrRunMismatch, i, w.start.Size, len(keys))
 	}
-	for _, b := range w.batches {
+	verify := func(b *BatchDone) error {
 		for k, qi := range b.Questions {
 			if qi < 0 || qi >= len(keys) || k >= len(b.Keys) {
 				return fmt.Errorf("%w: window %d batch %d references question %d outside the window",
@@ -340,6 +382,17 @@ func (s *RunState) VerifyWindowKeys(i int, keys []string) error {
 				return fmt.Errorf("%w: window %d batch %d pair %d is %q in the journal but %q in the stream",
 					ErrRunMismatch, i, b.Batch, qi, b.Keys[k], keys[qi])
 			}
+		}
+		return nil
+	}
+	for _, b := range w.batches {
+		if err := verify(b); err != nil {
+			return err
+		}
+	}
+	for _, b := range w.degraded {
+		if err := verify(b); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -352,13 +405,14 @@ type batchKey struct{ window, batch int }
 // and idempotent: re-recording an already-journaled window or batch is a
 // no-op, which is what makes crash/resume cycles converge.
 type Journal struct {
-	mu    sync.Mutex
-	dir   string
-	log   *segLog
-	state *RunState
-	seen  map[batchKey]bool
-	wseen map[int]bool
-	dseen bool
+	mu      sync.Mutex
+	dir     string
+	log     *segLog
+	state   *RunState
+	seen    map[batchKey]bool
+	degSeen map[batchKey]bool
+	wseen   map[int]bool
+	dseen   bool
 }
 
 // OpenJournal opens (creating if necessary) the run journal stored in
@@ -372,6 +426,7 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 	}
 	state := &RunState{windows: map[int]*windowState{}}
 	seen := map[batchKey]bool{}
+	degSeen := map[batchKey]bool{}
 	wseen := map[int]bool{}
 	last, err := readSegments(ctx, dir, "journal", func(raw json.RawMessage) error {
 		var rec journalRecord
@@ -386,7 +441,7 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 		case rec.Window != nil:
 			w := state.windows[rec.Window.Index]
 			if w == nil {
-				w = &windowState{batches: map[int]*BatchDone{}}
+				w = newWindowState()
 				state.windows[rec.Window.Index] = w
 			}
 			if w.start == nil { // first wins
@@ -397,10 +452,19 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 			k := batchKey{rec.Batch.Window, rec.Batch.Batch}
 			w := state.windows[rec.Batch.Window]
 			if w == nil {
-				w = &windowState{batches: map[int]*BatchDone{}}
+				w = newWindowState()
 				state.windows[rec.Batch.Window] = w
 			}
-			if !seen[k] { // first wins: the real billed usage
+			switch {
+			case rec.Batch.Degraded:
+				// Degraded placeholders live beside the real records: a
+				// later authoritative answer for the same batch does not
+				// erase the spend the placeholder preserved.
+				if !degSeen[k] { // first wins
+					w.degraded[rec.Batch.Batch] = rec.Batch
+					degSeen[k] = true
+				}
+			case !seen[k]: // first wins: the real billed usage
 				w.batches[rec.Batch.Batch] = rec.Batch
 				seen[k] = true
 			}
@@ -415,12 +479,13 @@ func OpenJournal(ctx context.Context, dir string) (*Journal, error) {
 		return nil, err
 	}
 	return &Journal{
-		dir:   dir,
-		log:   openSegLog(dir, "journal", last, 0),
-		state: state,
-		seen:  seen,
-		wseen: wseen,
-		dseen: state.done != nil,
+		dir:     dir,
+		log:     openSegLog(dir, "journal", last, 0),
+		state:   state,
+		seen:    seen,
+		degSeen: degSeen,
+		wseen:   wseen,
+		dseen:   state.done != nil,
 	}, nil
 }
 
@@ -470,18 +535,28 @@ func (j *Journal) WindowStart(w WindowStart) error {
 // replayed batches from a resumed partial window never overwrite the
 // original record carrying the real billed usage. The batch's window
 // must have started (WindowStart), or the append fails with
-// ErrOutOfOrder.
+// ErrOutOfOrder. Degraded placeholders are tracked separately from
+// authoritative answers: a placeholder never blocks the later repair
+// record for the same batch, and vice versa an answered batch is never
+// demoted by a placeholder.
 func (j *Journal) BatchDone(b BatchDone) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	k := batchKey{b.Window, b.Batch}
-	if j.seen[k] {
+	if b.Degraded && j.degSeen[k] {
+		return nil
+	}
+	if !b.Degraded && j.seen[k] {
 		return nil
 	}
 	if !j.wseen[b.Window] {
 		return fmt.Errorf("%w: window %d batch %d recorded before the window started", ErrOutOfOrder, b.Window, b.Batch)
 	}
-	j.seen[k] = true
+	if b.Degraded {
+		j.degSeen[k] = true
+	} else {
+		j.seen[k] = true
+	}
 	return j.log.append(journalRecord{Batch: &b})
 }
 
